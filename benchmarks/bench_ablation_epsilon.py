@@ -1,0 +1,55 @@
+"""Ablation — the ε knob of Algorithm 3 (greedy set cover) and Algorithm 7 (b-matching).
+
+DESIGN.md experiment ``ablation-epsilon``.  Larger ε buys fewer rounds /
+iterations at the price of a worse guarantee:
+
+* Algorithm 3's guarantee is ``(1+ε)·H_∆`` and its threshold ``L`` drops by
+  ``(1+ε)`` per bucket, so larger ε ⇒ fewer buckets (fewer iterations).
+* Algorithm 7's guarantee is ``3 − 2/b + 2ε`` and its per-vertex push budget
+  is ``b·ln(1/δ)`` with ``δ = ε/(1+ε)``, so larger ε ⇒ smaller stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import sweep_epsilon
+
+EPSILONS = (0.05, 0.25, 1.0)
+
+
+@pytest.mark.benchmark(group="ablation-epsilon")
+def bench_epsilon_sweep_set_cover(benchmark):
+    def run():
+        return sweep_epsilon(np.random.default_rng(11), epsilons=EPSILONS, problem="set-cover")
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["by_epsilon"] = {
+        str(r.parameters["epsilon"]): {
+            "weight": round(r.metrics["weight"], 3),
+            "rounds": r.metrics["rounds"],
+        }
+        for r in records
+    }
+    # Larger ε never needs more inner iterations (up to small-instance noise).
+    assert records[-1].metrics["inner_iterations"] <= records[0].metrics["inner_iterations"] + 2
+
+
+@pytest.mark.benchmark(group="ablation-epsilon")
+def bench_epsilon_sweep_b_matching(benchmark):
+    def run():
+        return sweep_epsilon(
+            np.random.default_rng(12), epsilons=EPSILONS, problem="b-matching", n=90, b=3
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["by_epsilon"] = {
+        str(r.parameters["epsilon"]): round(r.metrics["weight"], 3) for r in records
+    }
+    # All ε values must produce positive-weight feasible solutions, and the
+    # strictest ε should not be worse than the loosest by more than its
+    # guarantee gap.
+    weights = [r.metrics["weight"] for r in records]
+    assert min(weights) > 0
+    assert weights[0] >= weights[-1] / (3.0 - 2.0 / 3.0 + 2.0 * EPSILONS[-1])

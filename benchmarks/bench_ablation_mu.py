@@ -1,0 +1,49 @@
+"""Ablation — rounds as a function of the space exponent µ.
+
+DESIGN.md experiment ``ablation-mu-rounds``.  The paper's central trade-off
+is "more memory per machine ⇒ fewer rounds" (the ``O(c/µ)`` shape).  This
+ablation sweeps µ for the three ``O(c/µ)``-round algorithms and asserts the
+monotone shape: rounds at the largest µ never exceed rounds at the smallest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import sweep_mu
+
+MUS = (0.15, 0.25, 0.4, 0.6)
+
+
+def _run_sweep(benchmark, algorithm: str):
+    def run():
+        return sweep_mu(np.random.default_rng(7), n=140, c=0.5, mus=MUS, algorithm=algorithm)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["rounds_by_mu"] = {
+        str(r.parameters["mu"]): r.metrics["rounds"] for r in records
+    }
+    return records
+
+
+@pytest.mark.benchmark(group="ablation-mu")
+def bench_mu_sweep_matching(benchmark):
+    records = _run_sweep(benchmark, "matching")
+    assert records[-1].metrics["rounds"] <= records[0].metrics["rounds"]
+    # Space grows with µ: the largest-µ run may use more words per machine.
+    assert records[-1].metrics["max_space_per_machine"] >= records[0].metrics[
+        "max_space_per_machine"
+    ] * 0.5
+
+
+@pytest.mark.benchmark(group="ablation-mu")
+def bench_mu_sweep_vertex_cover(benchmark):
+    records = _run_sweep(benchmark, "vertex-cover")
+    assert records[-1].metrics["rounds"] <= records[0].metrics["rounds"]
+
+
+@pytest.mark.benchmark(group="ablation-mu")
+def bench_mu_sweep_mis(benchmark):
+    records = _run_sweep(benchmark, "mis")
+    assert records[-1].metrics["rounds"] <= records[0].metrics["rounds"] + 4

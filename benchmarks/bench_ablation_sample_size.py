@@ -1,0 +1,47 @@
+"""Ablation — sampling iterations as a function of the per-round budget η.
+
+DESIGN.md experiment ``ablation-sample-size``.  Theorems 2.3 and 5.5 predict
+that a larger per-round sample budget η (more memory on the central machine)
+reduces the number of sampling iterations; the solution quality is unchanged
+because the approximation guarantee is independent of η.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import sweep_sample_budget
+
+EXPONENTS = (1.0, 1.15, 1.35)
+
+
+@pytest.mark.benchmark(group="ablation-sample-size")
+def bench_eta_sweep_matching(benchmark):
+    def run():
+        return sweep_sample_budget(
+            np.random.default_rng(5), n=160, c=0.5, exponents=EXPONENTS, problem="matching"
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["iterations_by_eta"] = {
+        str(r.parameters["eta"]): r.metrics["iterations"] for r in records
+    }
+    assert records[-1].metrics["iterations"] <= records[0].metrics["iterations"]
+    # Quality is η-independent (all are 2-approximations of the same optimum):
+    weights = [r.metrics["weight"] for r in records]
+    assert max(weights) <= 2.0 * min(weights) + 1e-9
+
+
+@pytest.mark.benchmark(group="ablation-sample-size")
+def bench_eta_sweep_set_cover(benchmark):
+    def run():
+        return sweep_sample_budget(
+            np.random.default_rng(6), n=80, exponents=EXPONENTS, problem="set-cover"
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["iterations_by_eta"] = {
+        str(r.parameters["eta"]): r.metrics["iterations"] for r in records
+    }
+    assert records[-1].metrics["iterations"] <= records[0].metrics["iterations"]

@@ -1,0 +1,42 @@
+"""Figure 1 / Appendix D — Weighted b-Matching (Theorem D.3).
+
+Paper claim: ``(3 − 2/b + 2ε)``-approximate maximum weight b-matching in
+``O(c/µ)`` rounds with ``O(b·log(1/ε)·n^{1+µ})`` memory.  The greedy
+b-matching baseline (itself a 2-approximation) provides the quality
+reference: the local ratio result must stay within the combined guarantee
+factor of greedy, and must always be feasible under the capacities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_round_shape, assert_space_shape, run_experiment_benchmark
+from repro.experiments import b_matching_experiment
+
+
+@pytest.mark.benchmark(group="fig1-b-matching")
+def bench_b_matching_b2(benchmark):
+    record = run_experiment_benchmark(benchmark, b_matching_experiment, n=110, c=0.45, b=2)
+    assert record.valid
+    assert record.metrics["ratio_vs_greedy"] <= 2.0 * record.bounds["approximation"]
+    assert_round_shape(record)
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-b-matching")
+def bench_b_matching_b3(benchmark):
+    record = run_experiment_benchmark(benchmark, b_matching_experiment, n=110, c=0.45, b=3)
+    assert record.valid
+    assert record.metrics["ratio_vs_greedy"] <= 2.0 * record.bounds["approximation"]
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-b-matching")
+def bench_b_matching_b5_small_epsilon(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, b_matching_experiment, n=90, c=0.45, b=5, epsilon=0.05
+    )
+    assert record.valid
+    assert record.metrics["ratio_vs_greedy"] <= 2.0 * record.bounds["approximation"]
+    assert_space_shape(record)

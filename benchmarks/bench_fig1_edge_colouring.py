@@ -1,0 +1,49 @@
+"""Figure 1 row — Edge Colouring with ``(1 + o(1))∆`` colours (Theorem 6.6).
+
+Paper claim: a proper edge colouring with ``(1 + o(1))∆`` colours in ``O(1)``
+rounds.  Misra–Gries (``∆ + 1`` colours, sequential) is the baseline and
+also the per-group local subroutine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_space_shape, run_experiment_benchmark
+from repro.experiments import edge_colouring_experiment
+
+
+@pytest.mark.benchmark(group="fig1-edge-colouring")
+def bench_edge_colouring_default(benchmark):
+    record = run_experiment_benchmark(benchmark, edge_colouring_experiment, n=180, c=0.4, mu=0.2)
+    assert record.valid
+    assert record.metrics["rounds"] == 3.0
+    assert record.metrics["colours_used"] <= record.bounds["colours"]
+    assert record.metrics["colours_used"] <= 2 * record.parameters["delta"]
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-edge-colouring")
+def bench_edge_colouring_dense(benchmark):
+    record = run_experiment_benchmark(benchmark, edge_colouring_experiment, n=140, c=0.55, mu=0.25)
+    assert record.valid
+    assert record.metrics["colours_used"] <= record.bounds["colours"]
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-edge-colouring")
+def bench_edge_colouring_greedy_local_variant(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, edge_colouring_experiment, n=160, c=0.4, mu=0.2, local_algorithm="greedy"
+    )
+    assert record.valid
+    # First-fit local colouring may use up to 2∆_i − 1 per group; the overall
+    # count must still be far below the trivial 2∆ bound plus group overhead.
+    assert record.metrics["colours_used"] <= 2 * record.parameters["delta"] + record.metrics["num_groups"]
+
+
+@pytest.mark.benchmark(group="fig1-edge-colouring")
+def bench_edge_colouring_vs_misra_gries_baseline(benchmark):
+    record = run_experiment_benchmark(benchmark, edge_colouring_experiment, n=150, c=0.45, mu=0.25)
+    assert record.metrics["misra_gries_colours"] <= record.parameters["delta"] + 1
+    assert record.metrics["colours_used"] <= record.bounds["colours"]

@@ -1,0 +1,52 @@
+"""Figure 1 row — Weighted Matching, 2-approximation (Theorem 5.6).
+
+Paper claim: 2-approximate maximum weight matching in ``O(c/µ)`` rounds and
+``O(n^{1+µ})`` space.  Baselines: exact blossom matching (quality reference),
+sequential greedy (classical 2-approximation), and the unweighted filtering
+technique of Lattanzi et al. — the paper's algorithm should dominate
+filtering on weighted inputs ("who wins").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    assert_approximation,
+    assert_round_shape,
+    assert_space_shape,
+    run_experiment_benchmark,
+)
+from repro.experiments import matching_experiment
+
+
+@pytest.mark.benchmark(group="fig1-matching")
+def bench_weighted_matching_default(benchmark):
+    record = run_experiment_benchmark(benchmark, matching_experiment, n=150, c=0.45, mu=0.25)
+    assert_approximation(record, "ratio_vs_optimal")
+    assert_round_shape(record, measured_key="sampling_iterations")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-matching")
+def bench_weighted_matching_dense(benchmark):
+    record = run_experiment_benchmark(benchmark, matching_experiment, n=120, c=0.6, mu=0.25)
+    assert_approximation(record, "ratio_vs_optimal")
+    assert_round_shape(record, measured_key="sampling_iterations")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-matching")
+def bench_weighted_matching_wide_weights(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, matching_experiment, n=140, c=0.45, mu=0.3, weight_range=(1.0, 10_000.0)
+    )
+    assert_approximation(record, "ratio_vs_optimal")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-matching")
+def bench_weighted_matching_beats_filtering(benchmark):
+    record = run_experiment_benchmark(benchmark, matching_experiment, n=150, c=0.45, mu=0.25)
+    # Weight-aware local ratio vs weight-oblivious filtering on weighted input.
+    assert record.metrics["weight"] >= 0.95 * record.metrics["filtering_weight"]

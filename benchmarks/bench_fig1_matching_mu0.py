@@ -1,0 +1,42 @@
+"""Figure 1 / Appendix C — Weighted Matching with linear memory (Theorem C.2).
+
+Paper claim: with ``η = n`` (i.e. ``O(n)`` words per machine) the randomized
+local ratio matching algorithm still returns a 2-approximation, now in
+``O(log n)`` rounds.  This benchmark checks the logarithmic iteration count
+and the unchanged approximation guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import assert_approximation, run_experiment_benchmark
+from repro.experiments import matching_mu0_experiment
+
+
+@pytest.mark.benchmark(group="fig1-matching-mu0")
+def bench_matching_linear_space_default(benchmark):
+    record = run_experiment_benchmark(benchmark, matching_mu0_experiment, n=200, c=0.4)
+    assert_approximation(record, "ratio_vs_optimal")
+    # O(log n) sampling iterations.
+    assert record.metrics["sampling_iterations"] <= 8 * np.log2(record.parameters["n"])
+
+
+@pytest.mark.benchmark(group="fig1-matching-mu0")
+def bench_matching_linear_space_larger(benchmark):
+    record = run_experiment_benchmark(benchmark, matching_mu0_experiment, n=320, c=0.4)
+    assert_approximation(record, "ratio_vs_optimal")
+    assert record.metrics["sampling_iterations"] <= 8 * np.log2(record.parameters["n"])
+
+
+@pytest.mark.benchmark(group="fig1-matching-mu0")
+def bench_matching_linear_space_scaling(benchmark):
+    """Iterations should grow (at most) logarithmically between sizes."""
+    small = run_experiment_benchmark(benchmark, matching_mu0_experiment, n=120, c=0.4)
+    # Note: only the timed record ends up in the benchmark report; the scaling
+    # check below runs the larger size outside the timer.
+    rng = np.random.default_rng(99)
+    large = matching_mu0_experiment(rng, n=360, c=0.4)
+    ratio = large.metrics["sampling_iterations"] / max(1.0, small.metrics["sampling_iterations"])
+    assert ratio <= 4.0

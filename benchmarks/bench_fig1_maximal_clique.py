@@ -1,0 +1,33 @@
+"""Figure 1 row — Maximal Clique (Corollary B.1).
+
+Paper claim: maximal clique in ``O(1/µ)`` rounds and ``O(n^{1+µ})`` space,
+without ever materializing the complement graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_round_shape, assert_space_shape, run_experiment_benchmark
+from repro.experiments import maximal_clique_experiment
+
+
+@pytest.mark.benchmark(group="fig1-maximal-clique")
+def bench_maximal_clique_default(benchmark):
+    record = run_experiment_benchmark(benchmark, maximal_clique_experiment, n=120, c=0.55, mu=0.35)
+    assert_round_shape(record, measured_key="sweeps")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-maximal-clique")
+def bench_maximal_clique_dense(benchmark):
+    record = run_experiment_benchmark(benchmark, maximal_clique_experiment, n=90, c=0.7, mu=0.35)
+    assert_round_shape(record, measured_key="sweeps")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-maximal-clique")
+def bench_maximal_clique_large_mu(benchmark):
+    record = run_experiment_benchmark(benchmark, maximal_clique_experiment, n=120, c=0.55, mu=0.6)
+    assert_round_shape(record, measured_key="sweeps")
+    assert_space_shape(record)

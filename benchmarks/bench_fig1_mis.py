@@ -1,0 +1,51 @@
+"""Figure 1 row — Maximal Independent Set (Theorem A.3, and Theorem 3.3 variant).
+
+Paper claim: maximal independent set in ``O(c/µ)`` rounds (improved
+Algorithm 6) or ``O(1/µ²)`` rounds (simple Algorithm 2) with ``O(n^{1+µ})``
+space per machine.  Luby's algorithm (``O(log n)`` rounds) is the prior-work
+comparison: the hungry-greedy sweep count should not exceed Luby's round
+count by more than a constant factor, and for dense graphs it is typically
+smaller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_round_shape, assert_space_shape, run_experiment_benchmark
+from repro.experiments import mis_experiment
+
+
+@pytest.mark.benchmark(group="fig1-mis")
+def bench_mis_improved_default(benchmark):
+    record = run_experiment_benchmark(benchmark, mis_experiment, n=200, c=0.45, mu=0.3)
+    assert_round_shape(record, measured_key="sweeps")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-mis")
+def bench_mis_improved_dense(benchmark):
+    record = run_experiment_benchmark(benchmark, mis_experiment, n=160, c=0.6, mu=0.3)
+    assert_round_shape(record, measured_key="sweeps")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-mis")
+def bench_mis_simple_variant(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, mis_experiment, n=150, c=0.45, mu=0.35, simple=True
+    )
+    assert record.valid
+    assert_space_shape(record)
+    # O(1/µ²) sweeps for the simple variant.
+    assert record.metrics["sweeps"] <= 8.0 / (0.35**2) + 8
+
+
+@pytest.mark.benchmark(group="fig1-mis")
+def bench_mis_vs_luby_round_comparison(benchmark):
+    record = run_experiment_benchmark(benchmark, mis_experiment, n=220, c=0.5, mu=0.4)
+    assert record.valid
+    # Shape claim: for m = n^{1+c} the hungry-greedy sweep count is O(c/µ),
+    # comparable to (and for these sizes no more than a small factor above)
+    # Luby's O(log n) round count.
+    assert record.metrics["sweeps"] <= 3 * record.metrics["luby_rounds"] + 5

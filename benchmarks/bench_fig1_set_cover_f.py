@@ -1,0 +1,52 @@
+"""Figure 1 row — Weighted Set Cover, ``f``-approximation (Theorem 2.4, general ``f``).
+
+Paper claim: ``f``-approximation, ``O((c/µ)²)`` rounds, ``O(f·n^{1+µ})``
+space per machine, intended for the ``n ≪ m`` regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    assert_approximation,
+    assert_round_shape,
+    assert_space_shape,
+    run_experiment_benchmark,
+)
+from repro.experiments import set_cover_f_experiment
+
+
+@pytest.mark.benchmark(group="fig1-set-cover-f")
+def bench_set_cover_frequency_3(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, set_cover_f_experiment, num_sets=60, num_elements=1200, max_frequency=3
+    )
+    assert_approximation(record, "ratio_vs_lp")
+    assert_round_shape(record)
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-set-cover-f")
+def bench_set_cover_frequency_5(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, set_cover_f_experiment, num_sets=60, num_elements=1200, max_frequency=5
+    )
+    assert_approximation(record, "ratio_vs_lp")
+    assert_round_shape(record)
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-set-cover-f")
+def bench_set_cover_many_elements(benchmark):
+    record = run_experiment_benchmark(
+        benchmark,
+        set_cover_f_experiment,
+        num_sets=80,
+        num_elements=3000,
+        max_frequency=4,
+        mu=0.3,
+    )
+    assert_approximation(record, "ratio_vs_lp")
+    assert_round_shape(record)
+    assert_space_shape(record)

@@ -1,0 +1,49 @@
+"""Figure 1 row — Weighted Vertex Cover (Theorem 2.4, f = 2).
+
+Paper claim: 2-approximation, ``O(c/µ)`` MapReduce rounds, ``O(n^{1+µ})``
+space per machine.  The benchmark regenerates the row on a synthetic
+``m = n^{1+c}`` workload, compares against the LP lower bound and the
+unweighted filtering baseline, and asserts the round/space/ratio shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    assert_approximation,
+    assert_round_shape,
+    assert_space_shape,
+    run_experiment_benchmark,
+)
+from repro.experiments import vertex_cover_experiment
+
+
+@pytest.mark.benchmark(group="fig1-vertex-cover")
+def bench_weighted_vertex_cover_default(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, vertex_cover_experiment, n=150, c=0.45, mu=0.25
+    )
+    assert_approximation(record, "ratio_vs_lp")
+    assert_round_shape(record, measured_key="sampling_iterations")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-vertex-cover")
+def bench_weighted_vertex_cover_denser_graph(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, vertex_cover_experiment, n=120, c=0.6, mu=0.25
+    )
+    assert_approximation(record, "ratio_vs_lp")
+    assert_round_shape(record, measured_key="sampling_iterations")
+    assert_space_shape(record)
+
+
+@pytest.mark.benchmark(group="fig1-vertex-cover")
+def bench_weighted_vertex_cover_large_mu(benchmark):
+    record = run_experiment_benchmark(
+        benchmark, vertex_cover_experiment, n=150, c=0.45, mu=0.45
+    )
+    assert_approximation(record, "ratio_vs_lp")
+    assert_round_shape(record, measured_key="sampling_iterations")
+    assert_space_shape(record)

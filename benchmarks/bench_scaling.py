@@ -1,0 +1,78 @@
+"""Scaling benchmarks: growth shape of rounds and space (DESIGN.md §4, supporting all rows).
+
+These complement the per-row Figure-1 benchmarks by measuring how the key
+quantities *grow*:
+
+* iteration count vs. ``n`` at fixed ``c, µ`` — should stay flat for the
+  ``O(c/µ)``-round algorithms (the paper's headline over ``O(log n)``-round
+  PRAM simulations);
+* iteration count vs. ``c`` at fixed ``n, µ`` — should grow with the
+  densification exponent;
+* per-round central sample footprint vs. ``µ`` — should scale like
+  ``n^{1+µ}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import rounds_vs_c, rounds_vs_n, space_vs_mu
+
+
+@pytest.mark.benchmark(group="scaling")
+def bench_rounds_vs_n_matching(benchmark):
+    def run():
+        return rounds_vs_n(
+            np.random.default_rng(21), sizes=(80, 160, 320), c=0.45, mu=0.3, algorithm="matching"
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["iterations_by_n"] = {
+        str(r.parameters["n"]): r.metrics["iterations"] for r in records
+    }
+    iterations = [r.metrics["iterations"] for r in records]
+    # Constant-round shape: quadrupling n must not even double the iteration count.
+    assert max(iterations) <= 2 * max(1.0, min(iterations)) + 1
+
+
+@pytest.mark.benchmark(group="scaling")
+def bench_rounds_vs_n_mis_vs_luby(benchmark):
+    def run():
+        return rounds_vs_n(
+            np.random.default_rng(22), sizes=(80, 240), c=0.45, mu=0.35, algorithm="mis"
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["by_n"] = {
+        str(r.parameters["n"]): dict(r.metrics) for r in records
+    }
+    for record in records:
+        # Hungry-greedy sweeps stay within a small factor of (and typically below)
+        # Luby's log n rounds on densified graphs.
+        assert record.metrics["iterations"] <= record.metrics["luby_rounds"] + 3
+
+
+@pytest.mark.benchmark(group="scaling")
+def bench_rounds_vs_c_matching(benchmark):
+    def run():
+        return rounds_vs_c(np.random.default_rng(23), n=150, cs=(0.3, 0.5, 0.7), mu=0.2)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["iterations_by_c"] = {
+        str(r.parameters["c"]): r.metrics["iterations"] for r in records
+    }
+    assert records[0].metrics["iterations"] <= records[-1].metrics["iterations"] + 1
+
+
+@pytest.mark.benchmark(group="scaling")
+def bench_space_vs_mu_matching(benchmark):
+    def run():
+        return space_vs_mu(np.random.default_rng(24), n=150, mus=(0.15, 0.3, 0.5))
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["peak_sample_words_by_mu"] = {
+        str(r.parameters["mu"]): r.metrics["peak_sample_words"] for r in records
+    }
+    for record in records:
+        assert record.metrics["peak_sample_words"] <= record.bounds["peak_sample_words"]

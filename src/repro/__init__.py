@@ -1,0 +1,178 @@
+"""repro — reproduction of "Greedy and Local Ratio Algorithms in the MapReduce Model".
+
+Harvey, Liaw and Liu (SPAA 2018) develop two techniques for designing
+constant-round MapReduce algorithms — *randomized local ratio* and
+*hungry-greedy* — and instantiate them on weighted vertex cover, weighted
+set cover, weighted (b-)matching, maximal independent set, maximal clique,
+and ``(1 + o(1))∆`` vertex/edge colouring.
+
+This package provides:
+
+* :mod:`repro.mapreduce` — an instrumented MPC/MRC simulator that enforces
+  per-machine space budgets and counts rounds and communication;
+* :mod:`repro.graphs`, :mod:`repro.setcover` — workload substrates
+  (representations, generators, certificate checkers);
+* :mod:`repro.core` — the paper's algorithms, each with a sequential
+  reference implementation and an MPC driver;
+* :mod:`repro.baselines` — sequential and prior-work comparison algorithms
+  (filtering, Luby, Chvátal greedy, Misra–Gries, exact solvers);
+* :mod:`repro.analysis`, :mod:`repro.experiments` — theoretical bounds,
+  approximation-ratio helpers, and the Figure-1 reproduction harness.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import densified_graph, mpc_weighted_matching, is_matching
+>>> rng = np.random.default_rng(0)
+>>> graph = densified_graph(100, 0.4, rng, weights="uniform")
+>>> result, metrics = mpc_weighted_matching(graph, mu=0.25, rng=rng)
+>>> assert is_matching(graph, result.edge_ids)
+>>> metrics.num_rounds > 0 and result.weight > 0
+True
+"""
+
+from . import analysis, baselines, core, experiments, graphs, mapreduce, setcover
+from .baselines import (
+    exact_matching,
+    filtering_unweighted_matching,
+    filtering_vertex_cover,
+    greedy_colouring,
+    greedy_matching,
+    greedy_set_cover,
+    luby_mis,
+    misra_gries_edge_colouring,
+)
+from .core.colouring import (
+    mapreduce_edge_colouring,
+    mapreduce_vertex_colouring,
+    mpc_edge_colouring,
+    mpc_vertex_colouring,
+)
+from .core.hungry_greedy import (
+    hungry_greedy_maximal_clique,
+    hungry_greedy_mis,
+    hungry_greedy_mis_improved,
+    hungry_greedy_set_cover,
+    mpc_greedy_set_cover,
+    mpc_maximal_clique,
+    mpc_maximal_independent_set,
+    mpc_maximal_independent_set_simple,
+)
+from .core.local_ratio import (
+    local_ratio_b_matching,
+    local_ratio_matching,
+    local_ratio_set_cover,
+    local_ratio_vertex_cover,
+    mpc_weighted_b_matching,
+    mpc_weighted_matching,
+    mpc_weighted_set_cover,
+    mpc_weighted_vertex_cover,
+    randomized_local_ratio_b_matching,
+    randomized_local_ratio_matching,
+    randomized_local_ratio_set_cover,
+    randomized_local_ratio_vertex_cover,
+)
+from .core.results import (
+    CliqueResult,
+    ColouringResult,
+    IndependentSetResult,
+    IterationStats,
+    MatchingResult,
+    SetCoverResult,
+)
+from .graphs import (
+    Graph,
+    densified_graph,
+    gnm_graph,
+    is_b_matching,
+    is_matching,
+    is_maximal_clique,
+    is_maximal_independent_set,
+    is_proper_edge_colouring,
+    is_proper_vertex_colouring,
+    is_vertex_cover,
+    power_law_graph,
+)
+from .mapreduce import Cluster, MPCContext, RunMetrics
+from .setcover import (
+    SetCoverInstance,
+    is_cover,
+    random_coverage_instance,
+    random_frequency_bounded_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "mapreduce",
+    "graphs",
+    "setcover",
+    "core",
+    "baselines",
+    "analysis",
+    "experiments",
+    # substrates
+    "Graph",
+    "SetCoverInstance",
+    "Cluster",
+    "MPCContext",
+    "RunMetrics",
+    "gnm_graph",
+    "densified_graph",
+    "power_law_graph",
+    "random_frequency_bounded_instance",
+    "random_coverage_instance",
+    # results
+    "IterationStats",
+    "SetCoverResult",
+    "MatchingResult",
+    "IndependentSetResult",
+    "CliqueResult",
+    "ColouringResult",
+    # core algorithms (sequential + randomized + MPC drivers)
+    "local_ratio_set_cover",
+    "local_ratio_vertex_cover",
+    "local_ratio_matching",
+    "local_ratio_b_matching",
+    "randomized_local_ratio_set_cover",
+    "randomized_local_ratio_vertex_cover",
+    "randomized_local_ratio_matching",
+    "randomized_local_ratio_b_matching",
+    "hungry_greedy_mis",
+    "hungry_greedy_mis_improved",
+    "hungry_greedy_maximal_clique",
+    "hungry_greedy_set_cover",
+    "mapreduce_vertex_colouring",
+    "mapreduce_edge_colouring",
+    "mpc_weighted_set_cover",
+    "mpc_weighted_vertex_cover",
+    "mpc_weighted_matching",
+    "mpc_weighted_b_matching",
+    "mpc_maximal_independent_set",
+    "mpc_maximal_independent_set_simple",
+    "mpc_maximal_clique",
+    "mpc_greedy_set_cover",
+    "mpc_vertex_colouring",
+    "mpc_edge_colouring",
+    # baselines
+    "greedy_set_cover",
+    "greedy_matching",
+    "exact_matching",
+    "luby_mis",
+    "filtering_unweighted_matching",
+    "filtering_vertex_cover",
+    "greedy_colouring",
+    "misra_gries_edge_colouring",
+    # validators
+    "is_vertex_cover",
+    "is_matching",
+    "is_b_matching",
+    "is_maximal_independent_set",
+    "is_maximal_clique",
+    "is_proper_vertex_colouring",
+    "is_proper_edge_colouring",
+    "is_cover",
+]

@@ -1,0 +1,36 @@
+"""Approximation-ratio computation against reference solutions.
+
+Conventions:
+
+* for **minimization** problems (vertex cover, set cover) the ratio is
+  ``algorithm / reference`` where ``reference`` is the optimum or a lower
+  bound (LP relaxation), so the ratio is ≥ 1 and must not exceed the
+  guarantee;
+* for **maximization** problems (matching, b-matching) the ratio is
+  ``reference / algorithm`` where ``reference`` is the optimum or an upper
+  bound (exact blossom matching, fractional matching LP), so again ≥ 1 and
+  bounded by the guarantee.
+"""
+
+from __future__ import annotations
+
+__all__ = ["minimization_ratio", "maximization_ratio", "within_guarantee"]
+
+
+def minimization_ratio(algorithm_value: float, reference_lower_bound: float) -> float:
+    """Ratio ``algorithm / reference`` for minimization problems (≥ 1 if reference is a lower bound)."""
+    if reference_lower_bound <= 0:
+        return 1.0 if algorithm_value <= 0 else float("inf")
+    return float(algorithm_value) / float(reference_lower_bound)
+
+
+def maximization_ratio(algorithm_value: float, reference_upper_bound: float) -> float:
+    """Ratio ``reference / algorithm`` for maximization problems (≥ 1 if reference is an upper bound)."""
+    if algorithm_value <= 0:
+        return 1.0 if reference_upper_bound <= 0 else float("inf")
+    return float(reference_upper_bound) / float(algorithm_value)
+
+
+def within_guarantee(ratio: float, guarantee: float, *, slack: float = 1e-9) -> bool:
+    """Whether a measured ratio respects the theoretical guarantee (with numerical slack)."""
+    return ratio <= guarantee * (1.0 + slack) + slack

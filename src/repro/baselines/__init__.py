@@ -1,0 +1,43 @@
+"""Baseline algorithms: sequential references, prior MapReduce techniques, exact solvers."""
+
+from .exact import (
+    exact_max_independent_set_small,
+    exact_set_cover_small,
+    exact_vertex_cover_small,
+    fractional_matching_bound,
+    lp_set_cover_bound,
+    lp_vertex_cover_bound,
+)
+from .filtering import filtering_unweighted_matching, filtering_vertex_cover
+from .greedy_colouring import greedy_colouring, largest_first_colouring
+from .greedy_matching import (
+    exact_b_matching_small,
+    exact_matching,
+    greedy_b_matching,
+    greedy_matching,
+)
+from .greedy_set_cover import epsilon_greedy_set_cover, greedy_set_cover, harmonic_number
+from .luby_mis import luby_mis
+from .misra_gries import misra_gries_edge_colouring
+
+__all__ = [
+    "greedy_set_cover",
+    "epsilon_greedy_set_cover",
+    "harmonic_number",
+    "luby_mis",
+    "greedy_matching",
+    "greedy_b_matching",
+    "exact_matching",
+    "exact_b_matching_small",
+    "filtering_unweighted_matching",
+    "filtering_vertex_cover",
+    "greedy_colouring",
+    "largest_first_colouring",
+    "misra_gries_edge_colouring",
+    "exact_vertex_cover_small",
+    "exact_set_cover_small",
+    "exact_max_independent_set_small",
+    "lp_vertex_cover_bound",
+    "lp_set_cover_bound",
+    "fractional_matching_bound",
+]

@@ -1,0 +1,118 @@
+"""The filtering technique of Lattanzi, Moseley, Suri and Vassilvitskii (SPAA 2011).
+
+Filtering is the technique the paper's randomized local ratio descends from:
+sample a random subset of edges that fits on one machine, compute a partial
+solution on the sample, use it to discard edges, and repeat until the
+remaining graph fits on a single machine.
+
+Two classical instantiations are provided as baselines for Figure 1:
+
+* :func:`filtering_unweighted_matching` — 2-approximate maximal matching for
+  *unweighted* graphs in ``O(c/µ)`` rounds;
+* :func:`filtering_vertex_cover` — the induced 2-approximation for
+  unweighted vertex cover (endpoints of a maximal matching).
+
+These are the ``[26]`` / ``[27]`` rows of Figure 1 that the paper's weighted
+algorithms (Theorems 2.4 and 5.6) generalize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.results import IterationStats, MatchingResult, SetCoverResult
+from ..graphs.graph import Graph
+
+__all__ = ["filtering_unweighted_matching", "filtering_vertex_cover"]
+
+
+def _greedy_maximal_matching_on(
+    graph: Graph, edge_ids: np.ndarray, matched: np.ndarray
+) -> list[int]:
+    """Greedy maximal matching restricted to ``edge_ids``, respecting ``matched``."""
+    added: list[int] = []
+    for e in edge_ids:
+        e = int(e)
+        u, v = graph.edge_endpoints(e)
+        if not matched[u] and not matched[v]:
+            matched[u] = True
+            matched[v] = True
+            added.append(e)
+    return added
+
+
+def filtering_unweighted_matching(
+    graph: Graph,
+    eta: int,
+    rng: np.random.Generator,
+    *,
+    max_iterations: int | None = None,
+) -> MatchingResult:
+    """Lattanzi et al. filtering algorithm for (unweighted) maximal matching.
+
+    Per round: sample each alive edge with probability ``min(1, η/|E_i|)``,
+    compute a greedy maximal matching on the sample (respecting previously
+    matched vertices), then drop every alive edge with a matched endpoint.
+    Once fewer than ``η`` edges remain they are processed directly.  The
+    matching produced is maximal and therefore a 2-approximation of the
+    maximum (unweighted) matching; its matched vertex set is a 2-approximate
+    vertex cover.
+    """
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    m = graph.num_edges
+    if max_iterations is None:
+        max_iterations = 20 + 10 * int(np.ceil(np.log2(m + 2)))
+    matched = np.zeros(graph.num_vertices, dtype=bool)
+    alive = np.ones(m, dtype=bool)
+    chosen: list[int] = []
+    iterations: list[IterationStats] = []
+    iteration = 0
+    while alive.any():
+        iteration += 1
+        if iteration > max_iterations:
+            break
+        alive_ids = np.flatnonzero(alive)
+        if alive_ids.size <= eta:
+            sample = alive_ids
+        else:
+            p = min(1.0, eta / alive_ids.size)
+            sample = alive_ids[rng.random(alive_ids.size) < p]
+        added = _greedy_maximal_matching_on(graph, rng.permutation(sample), matched)
+        chosen.extend(added)
+        iterations.append(
+            IterationStats(
+                iteration=iteration,
+                alive=int(alive_ids.size),
+                sampled=int(sample.size),
+                sample_words=3 * int(sample.size),
+                selected=len(added),
+            )
+        )
+        alive &= ~matched[graph.edge_u] & ~matched[graph.edge_v]
+        if alive_ids.size <= eta:
+            break
+    weight = float(graph.weights[np.asarray(chosen, dtype=np.int64)].sum()) if chosen else 0.0
+    return MatchingResult(
+        chosen, weight, iterations=iterations, algorithm="filtering-matching"
+    )
+
+
+def filtering_vertex_cover(
+    graph: Graph,
+    eta: int,
+    rng: np.random.Generator,
+) -> SetCoverResult:
+    """2-approximate unweighted vertex cover: both endpoints of a filtering maximal matching."""
+    matching = filtering_unweighted_matching(graph, eta, rng)
+    cover: set[int] = set()
+    for e in matching.edge_ids:
+        u, v = graph.edge_endpoints(int(e))
+        cover.add(u)
+        cover.add(v)
+    return SetCoverResult(
+        sorted(cover),
+        float(len(cover)),
+        iterations=matching.iterations,
+        algorithm="filtering-vertex-cover",
+    )

@@ -1,0 +1,111 @@
+"""Sequential greedy baselines for weighted set cover.
+
+* :func:`greedy_set_cover` — Chvátal's greedy algorithm: repeatedly add the
+  set maximizing ``|S \\ C| / w``; an ``H_∆``-approximation.
+* :func:`epsilon_greedy_set_cover` — the relaxed rule used by the paper
+  (following Kumar et al.): any set within a ``(1 + ε)`` factor of the best
+  cost-effectiveness may be chosen; a ``(1 + ε)·H_∆``-approximation.  Used by
+  tests to check that Algorithm 3's solutions are never worse than what the
+  ε-greedy rule allows.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.results import SetCoverResult
+from ..setcover.instance import SetCoverInstance
+
+__all__ = ["greedy_set_cover", "epsilon_greedy_set_cover", "harmonic_number"]
+
+
+def harmonic_number(k: int) -> float:
+    """``H_k = 1 + 1/2 + … + 1/k`` (0 for ``k ≤ 0``)."""
+    if k <= 0:
+        return 0.0
+    return float(np.sum(1.0 / np.arange(1, k + 1)))
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> SetCoverResult:
+    """Chvátal's greedy algorithm (lazy-evaluation implementation).
+
+    Uses a max-heap of cost-effectiveness values with lazy re-evaluation:
+    because ``|S \\ C|`` only decreases over time, a popped entry whose value
+    is stale can simply be re-pushed with its recomputed value.
+    """
+    n, m = instance.num_sets, instance.num_elements
+    covered = np.zeros(m, dtype=bool)
+    chosen: list[int] = []
+    if m == 0:
+        return SetCoverResult([], 0.0, algorithm="greedy-set-cover")
+    weights = instance.weights
+
+    def effectiveness(set_id: int) -> float:
+        elems = instance.set_elements(set_id)
+        if elems.size == 0:
+            return 0.0
+        return float(np.count_nonzero(~covered[elems])) / float(weights[set_id])
+
+    heap: list[tuple[float, int]] = [(-effectiveness(i), i) for i in range(n)]
+    heapq.heapify(heap)
+    num_covered = 0
+    while num_covered < m and heap:
+        neg_value, set_id = heapq.heappop(heap)
+        current = effectiveness(set_id)
+        if current <= 0.0:
+            continue
+        if -neg_value > current + 1e-12:
+            heapq.heappush(heap, (-current, set_id))
+            continue
+        chosen.append(set_id)
+        elems = instance.set_elements(set_id)
+        newly = ~covered[elems]
+        num_covered += int(np.count_nonzero(newly))
+        covered[elems] = True
+    return SetCoverResult(
+        chosen, instance.cover_weight(chosen), algorithm="greedy-set-cover"
+    )
+
+
+def epsilon_greedy_set_cover(
+    instance: SetCoverInstance,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> SetCoverResult:
+    """The ε-greedy rule: pick uniformly among the sets within ``(1+ε)`` of the best ratio.
+
+    This is the sequential algorithm whose guarantee (``(1 + ε)·H_∆``) the
+    paper's Algorithm 3 implements in MapReduce; the randomized choice makes
+    it a useful statistical baseline.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    n, m = instance.num_sets, instance.num_elements
+    covered = np.zeros(m, dtype=bool)
+    chosen: list[int] = []
+    weights = instance.weights
+    while m and not covered.all():
+        residual = np.array(
+            [
+                int(np.count_nonzero(~covered[instance.set_elements(i)]))
+                if instance.set_elements(i).size
+                else 0
+                for i in range(n)
+            ],
+            dtype=np.float64,
+        )
+        ratios = residual / weights
+        best = float(ratios.max())
+        if best <= 0.0:
+            break
+        candidates = np.flatnonzero(ratios >= best / (1.0 + epsilon) - 1e-15)
+        pick = int(candidates[rng.integers(0, candidates.size)])
+        chosen.append(pick)
+        elems = instance.set_elements(pick)
+        if elems.size:
+            covered[elems] = True
+    return SetCoverResult(
+        chosen, instance.cover_weight(chosen), algorithm="epsilon-greedy-set-cover"
+    )

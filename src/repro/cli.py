@@ -1,0 +1,173 @@
+"""Command-line interface for running the reproduction experiments.
+
+Installed as ``python -m repro``.  Three subcommands:
+
+``figure1``
+    Run every (or selected) Figure-1 experiment and print the measured table
+    (the same data as ``examples/reproduce_figure1.py``).
+
+``experiment``
+    Run a single named experiment with a chosen seed / trial count and print
+    its full record (parameters, metrics, theoretical bounds).
+
+``ablation``
+    Run one of the ablation sweeps (``mu``, ``eta`` or ``epsilon``) and print
+    the sweep table.
+
+Examples
+--------
+::
+
+    python -m repro figure1 --seed 7 --trials 3
+    python -m repro experiment fig1-matching --seed 1
+    python -m repro ablation mu --algorithm matching
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis import format_table
+from .experiments import (
+    FIGURE1_EXPERIMENTS,
+    aggregate_records,
+    run_trials,
+    sweep_epsilon,
+    sweep_mu,
+    sweep_sample_budget,
+)
+from .experiments.harness import ExperimentRecord
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Greedy and Local Ratio Algorithms in the MapReduce Model' (SPAA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("figure1", help="run the Figure-1 experiments")
+    fig1.add_argument("--seed", type=int, default=2018)
+    fig1.add_argument("--trials", type=int, default=1)
+    fig1.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(FIGURE1_EXPERIMENTS),
+        help="restrict to these experiments",
+    )
+    fig1.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    single = sub.add_parser("experiment", help="run one experiment and print its record")
+    single.add_argument("name", choices=sorted(FIGURE1_EXPERIMENTS))
+    single.add_argument("--seed", type=int, default=2018)
+    single.add_argument("--trials", type=int, default=1)
+    single.add_argument("--json", action="store_true")
+
+    ablation = sub.add_parser("ablation", help="run an ablation sweep")
+    ablation.add_argument("sweep", choices=["mu", "eta", "epsilon"])
+    ablation.add_argument("--seed", type=int, default=2018)
+    ablation.add_argument(
+        "--algorithm",
+        default="matching",
+        help="for the mu sweep: matching | vertex-cover | mis",
+    )
+    ablation.add_argument(
+        "--problem",
+        default=None,
+        help="for eta/epsilon sweeps: matching|set-cover / set-cover|b-matching",
+    )
+    ablation.add_argument("--json", action="store_true")
+    return parser
+
+
+def _record_to_json(record: ExperimentRecord) -> dict[str, object]:
+    return {
+        "experiment": record.experiment,
+        "valid": record.valid,
+        "parameters": record.parameters,
+        "metrics": record.metrics,
+        "bounds": record.bounds,
+        "notes": record.notes,
+    }
+
+
+def _print_records(records: Sequence[ExperimentRecord], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps([_record_to_json(r) for r in records], indent=2, default=str))
+        return
+    rows = []
+    metric_keys: list[str] = []
+    for record in records:
+        for key in record.metrics:
+            if key not in metric_keys:
+                metric_keys.append(key)
+    headers = ["experiment", "valid"] + [f"param:{k}" for k in records[0].parameters] + metric_keys
+    for record in records:
+        row: list[object] = [record.experiment, "OK" if record.valid else "INVALID"]
+        row.extend(record.parameters.get(k, "") for k in records[0].parameters)
+        row.extend(record.metrics.get(k, "") for k in metric_keys)
+        rows.append(row)
+    print(format_table(headers, rows))
+
+
+def _run_figure1(args: argparse.Namespace) -> int:
+    names = args.only or list(FIGURE1_EXPERIMENTS)
+    records = []
+    for name in names:
+        experiment = FIGURE1_EXPERIMENTS[name]
+        trials = run_trials(lambda rng: experiment(rng), seed=args.seed, trials=args.trials)
+        records.append(aggregate_records(trials))
+    _print_records(records, args.json)
+    return 0 if all(r.valid for r in records) else 1
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    experiment = FIGURE1_EXPERIMENTS[args.name]
+    trials = run_trials(lambda rng: experiment(rng), seed=args.seed, trials=args.trials)
+    record = aggregate_records(trials)
+    if args.json:
+        print(json.dumps(_record_to_json(record), indent=2, default=str))
+    else:
+        print(f"experiment: {record.experiment}  (valid: {record.valid})")
+        print(f"parameters: {record.parameters}")
+        rows = [[k, v, record.bounds.get(k, "")] for k, v in sorted(record.metrics.items())]
+        print(format_table(["metric", "measured", "theoretical bound"], rows))
+    return 0 if record.valid else 1
+
+
+def _run_ablation(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.sweep == "mu":
+        records = sweep_mu(rng, algorithm=args.algorithm)
+    elif args.sweep == "eta":
+        records = sweep_sample_budget(rng, problem=args.problem or "matching")
+    else:
+        records = sweep_epsilon(rng, problem=args.problem or "set-cover")
+    _print_records(records, args.json)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figure1":
+        return _run_figure1(args)
+    if args.command == "experiment":
+        return _run_single(args)
+    if args.command == "ablation":
+        return _run_ablation(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

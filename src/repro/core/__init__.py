@@ -1,0 +1,33 @@
+"""The paper's algorithmic contributions.
+
+* :mod:`repro.core.local_ratio` — randomized local ratio: weighted set
+  cover / vertex cover (Algorithm 1), weighted matching (Algorithm 4),
+  weighted b-matching (Algorithm 7).
+* :mod:`repro.core.hungry_greedy` — hungry-greedy: maximal independent set
+  (Algorithms 2 and 6), maximal clique (Appendix B), greedy weighted set
+  cover (Algorithm 3).
+* :mod:`repro.core.colouring` — ``(1 + o(1))∆`` vertex and edge colouring
+  (Algorithm 5 and Remark 6.5).
+"""
+
+from . import colouring, hungry_greedy, local_ratio
+from .results import (
+    CliqueResult,
+    ColouringResult,
+    IndependentSetResult,
+    IterationStats,
+    MatchingResult,
+    SetCoverResult,
+)
+
+__all__ = [
+    "local_ratio",
+    "hungry_greedy",
+    "colouring",
+    "IterationStats",
+    "SetCoverResult",
+    "MatchingResult",
+    "IndependentSetResult",
+    "CliqueResult",
+    "ColouringResult",
+]

@@ -1,0 +1,30 @@
+"""Hungry-greedy algorithms (Sections 3, 4 and Appendices A, B)."""
+
+from .mapreduce_impl import (
+    mpc_greedy_set_cover,
+    mpc_maximal_clique,
+    mpc_maximal_independent_set,
+    mpc_maximal_independent_set_simple,
+    mpc_parameters_for_greedy_set_cover,
+)
+from .maximal_clique import hungry_greedy_maximal_clique, sequential_greedy_maximal_clique
+from .mis import hungry_greedy_mis, sequential_greedy_mis
+from .mis_improved import hungry_greedy_mis_improved
+from .set_cover import hungry_greedy_set_cover, preprocess_weights
+from .state import MISState
+
+__all__ = [
+    "hungry_greedy_mis",
+    "hungry_greedy_mis_improved",
+    "sequential_greedy_mis",
+    "hungry_greedy_maximal_clique",
+    "sequential_greedy_maximal_clique",
+    "hungry_greedy_set_cover",
+    "preprocess_weights",
+    "MISState",
+    "mpc_maximal_independent_set",
+    "mpc_maximal_independent_set_simple",
+    "mpc_maximal_clique",
+    "mpc_greedy_set_cover",
+    "mpc_parameters_for_greedy_set_cover",
+]

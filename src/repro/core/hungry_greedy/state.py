@@ -1,0 +1,101 @@
+"""Incremental bookkeeping shared by the hungry-greedy graph algorithms.
+
+Both MIS variants (Algorithms 2 and 6) and the maximal clique algorithm need
+to maintain, as vertices join the solution, the *residual degree*
+``d_I(v) = |N(v) \\ N⁺(I)|`` of every vertex — the number of neighbours that
+are neither in the solution nor adjacent to it.  Recomputing this from
+scratch after every insertion would cost ``O(m)`` per insertion;
+:class:`MISState` maintains it incrementally in time proportional to the
+neighbourhoods of the vertices that become blocked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graphs.graph import Graph
+
+__all__ = ["MISState"]
+
+
+class MISState:
+    """Incremental state for independent-set style hungry-greedy algorithms.
+
+    Attributes
+    ----------
+    in_set:
+        Boolean mask of vertices currently in the independent set ``I``.
+    blocked:
+        Boolean mask of ``N⁺(I)`` — vertices in ``I`` or adjacent to it.
+    degrees:
+        ``d_I(v)`` for every vertex (0 for blocked vertices).
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        n = graph.num_vertices
+        self.in_set = np.zeros(n, dtype=bool)
+        self.blocked = np.zeros(n, dtype=bool)
+        self.degrees = graph.degrees().astype(np.int64).copy()
+
+    # ------------------------------------------------------------------ #
+    def add(self, vertex: int) -> None:
+        """Add ``vertex`` to ``I`` and update ``blocked`` / ``degrees``.
+
+        ``vertex`` must currently be unblocked.
+        """
+        v = int(vertex)
+        if self.blocked[v]:
+            raise ValueError(f"vertex {v} is already blocked and cannot join the independent set")
+        self.in_set[v] = True
+        newly_blocked = [v]
+        for w in self.graph.neighbors(v):
+            w = int(w)
+            if not self.blocked[w]:
+                newly_blocked.append(w)
+        for w in newly_blocked:
+            self.blocked[w] = True
+        # Each unblocked neighbour of a newly blocked vertex loses one
+        # residual neighbour; blocked vertices themselves drop to degree 0.
+        for w in newly_blocked:
+            for x in self.graph.neighbors(w):
+                x = int(x)
+                if not self.blocked[x]:
+                    self.degrees[x] -= 1
+            self.degrees[w] = 0
+
+    def add_all(self, vertices) -> None:
+        """Add every (still unblocked) vertex in ``vertices`` to ``I``."""
+        for v in vertices:
+            if not self.blocked[int(v)]:
+                self.add(int(v))
+
+    # ------------------------------------------------------------------ #
+    def unblocked(self) -> np.ndarray:
+        """Vertices not yet in ``N⁺(I)``."""
+        return np.flatnonzero(~self.blocked)
+
+    def residual_degree(self, vertex: int) -> int:
+        """``d_I(vertex)``."""
+        return int(self.degrees[int(vertex)])
+
+    def heavy_vertices(self, threshold: float) -> np.ndarray:
+        """Vertices with ``d_I(v) ≥ threshold``."""
+        return np.flatnonzero(self.degrees >= threshold)
+
+    def alive_edge_count(self) -> int:
+        """Number of edges with both endpoints unblocked."""
+        g = self.graph
+        mask = ~self.blocked[g.edge_u] & ~self.blocked[g.edge_v]
+        return int(mask.sum())
+
+    def alive_neighbours(self, vertex: int) -> np.ndarray:
+        """The unblocked neighbours of ``vertex``."""
+        neigh = self.graph.neighbors(int(vertex))
+        if neigh.size == 0:
+            return neigh
+        return neigh[~self.blocked[neigh]]
+
+    def independent_set(self) -> list[int]:
+        """The current independent set as a sorted vertex list."""
+        return [int(v) for v in np.flatnonzero(self.in_set)]

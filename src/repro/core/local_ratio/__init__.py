@@ -1,0 +1,48 @@
+"""Randomized local ratio algorithms (Sections 2, 5 and Appendices C, D)."""
+
+from .b_matching import randomized_local_ratio_b_matching
+from .mapreduce_impl import (
+    MPCParameters,
+    mpc_parameters_for_graph,
+    mpc_parameters_for_instance,
+    mpc_weighted_b_matching,
+    mpc_weighted_matching,
+    mpc_weighted_set_cover,
+    mpc_weighted_vertex_cover,
+)
+from .matching import default_eta_for_graph, randomized_local_ratio_matching
+from .sequential import (
+    local_ratio_b_matching,
+    local_ratio_matching,
+    local_ratio_set_cover,
+    local_ratio_vertex_cover,
+    unwind_b_matching_stack,
+    unwind_matching_stack,
+)
+from .set_cover import (
+    default_eta,
+    randomized_local_ratio_set_cover,
+    randomized_local_ratio_vertex_cover,
+)
+
+__all__ = [
+    "local_ratio_set_cover",
+    "local_ratio_vertex_cover",
+    "local_ratio_matching",
+    "local_ratio_b_matching",
+    "unwind_matching_stack",
+    "unwind_b_matching_stack",
+    "randomized_local_ratio_set_cover",
+    "randomized_local_ratio_vertex_cover",
+    "randomized_local_ratio_matching",
+    "randomized_local_ratio_b_matching",
+    "default_eta",
+    "default_eta_for_graph",
+    "MPCParameters",
+    "mpc_parameters_for_graph",
+    "mpc_parameters_for_instance",
+    "mpc_weighted_set_cover",
+    "mpc_weighted_vertex_cover",
+    "mpc_weighted_matching",
+    "mpc_weighted_b_matching",
+]

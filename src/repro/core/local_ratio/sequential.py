@@ -1,0 +1,270 @@
+"""Sequential local ratio algorithms (the paper's building blocks).
+
+These are the classical algorithms the randomized MapReduce variants
+instantiate:
+
+* **Weighted set cover** — Bar-Yehuda & Even's local ratio method
+  (Theorem 2.1): repeatedly pick an element whose containing sets all have
+  positive residual weight, subtract the minimum residual weight of those
+  sets from each of them, and move every set that reaches zero into the
+  cover.  ``f``-approximation, where ``f`` is the maximum element frequency.
+
+* **Weighted vertex cover** — the ``f = 2`` special case, stated directly on
+  graphs for convenience.
+
+* **Maximum weight matching** — the Paz–Schwartzman local ratio method
+  (Theorem 5.1): pick a positive-weight edge, subtract its weight from
+  itself and all incident edges, push it on a stack; at the end unwind the
+  stack adding edges greedily.  2-approximation.
+
+* **Maximum weight b-matching** — the ε-adjusted variant of Appendix D:
+  the selected edge's weight is subtracted fully from itself and divided by
+  the endpoint capacities for incident edges; an edge is discarded once its
+  weight drops below ``(1+ε)`` times the accumulated reductions.
+  ``(3 − 2/max(2, b) + 2ε)``-approximation.
+
+Each function accepts an explicit processing *order* so the randomized
+variants can reuse the identical weight-reduction code with the order
+induced by their random samples — this is exactly the property ("elements
+can be processed in a fairly arbitrary order") that the paper's randomized
+local ratio technique exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ...setcover.instance import SetCoverInstance
+from ..results import MatchingResult, SetCoverResult
+
+__all__ = [
+    "local_ratio_set_cover",
+    "local_ratio_vertex_cover",
+    "local_ratio_matching",
+    "local_ratio_b_matching",
+    "unwind_matching_stack",
+    "unwind_b_matching_stack",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Weighted set cover (Theorem 2.1)
+# --------------------------------------------------------------------------- #
+def local_ratio_set_cover(
+    instance: SetCoverInstance,
+    *,
+    order: Sequence[int] | np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> SetCoverResult:
+    """Bar-Yehuda–Even local ratio algorithm for weighted set cover.
+
+    Parameters
+    ----------
+    instance:
+        The weighted set cover instance.
+    order:
+        Order in which to consider elements.  Defaults to ``0..m-1``; pass a
+        permutation to exercise the order-invariance of the guarantee, or a
+        subset to run the *partial* algorithm used by the randomized variant
+        (elements outside the order are simply never selected).
+    rng:
+        If given and ``order`` is ``None``, a uniformly random order is used.
+
+    Returns
+    -------
+    SetCoverResult
+        The chosen set ids (all sets whose residual weight reached zero) and
+        their total original weight.  When ``order`` covers every element the
+        result is a feasible cover and an ``f``-approximation.
+    """
+    m = instance.num_elements
+    if order is None:
+        order = np.arange(m) if rng is None else rng.permutation(m)
+    residual = instance.weights.astype(np.float64).copy()
+    chosen: list[int] = []
+    in_cover = np.zeros(instance.num_sets, dtype=bool)
+    covered = np.zeros(m, dtype=bool)
+    for element in np.asarray(order, dtype=np.int64):
+        if covered[element]:
+            continue
+        owners = instance.sets_containing(int(element))
+        if owners.size == 0:
+            continue
+        # All owners have positive residual weight here: otherwise some owner
+        # would already be in the cover and the element would be covered.
+        eps = float(residual[owners].min())
+        residual[owners] -= eps
+        newly_zero = owners[residual[owners] <= 1e-12]
+        for set_id in newly_zero:
+            if not in_cover[set_id]:
+                in_cover[set_id] = True
+                chosen.append(int(set_id))
+                elems = instance.set_elements(int(set_id))
+                if elems.size:
+                    covered[elems] = True
+    weight = instance.cover_weight(chosen)
+    return SetCoverResult(chosen, weight, algorithm="local-ratio-sequential")
+
+
+# --------------------------------------------------------------------------- #
+# Weighted vertex cover (f = 2 special case)
+# --------------------------------------------------------------------------- #
+def local_ratio_vertex_cover(
+    graph: Graph,
+    vertex_weights: Sequence[float] | np.ndarray,
+    *,
+    order: Sequence[int] | np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> SetCoverResult:
+    """Local ratio 2-approximation for weighted vertex cover.
+
+    Elements are edges, sets are vertices.  ``order`` is an edge order.
+    """
+    weights = np.asarray(vertex_weights, dtype=np.float64)
+    if weights.shape != (graph.num_vertices,):
+        raise ValueError("need one weight per vertex")
+    m = graph.num_edges
+    if order is None:
+        order = np.arange(m) if rng is None else rng.permutation(m)
+    residual = weights.copy()
+    in_cover = np.zeros(graph.num_vertices, dtype=bool)
+    chosen: list[int] = []
+    for edge in np.asarray(order, dtype=np.int64):
+        u, v = graph.edge_endpoints(int(edge))
+        if in_cover[u] or in_cover[v]:
+            continue
+        eps = float(min(residual[u], residual[v]))
+        residual[u] -= eps
+        residual[v] -= eps
+        for vertex in (u, v):
+            if residual[vertex] <= 1e-12 and not in_cover[vertex]:
+                in_cover[vertex] = True
+                chosen.append(int(vertex))
+    weight = float(weights[np.asarray(chosen, dtype=np.int64)].sum()) if chosen else 0.0
+    return SetCoverResult(chosen, weight, algorithm="local-ratio-vertex-cover-sequential")
+
+
+# --------------------------------------------------------------------------- #
+# Maximum weight matching (Theorem 5.1)
+# --------------------------------------------------------------------------- #
+def unwind_matching_stack(graph: Graph, stack: Sequence[int]) -> list[int]:
+    """Unwind a local ratio stack, greedily adding vertex-disjoint edges (LIFO)."""
+    matched = np.zeros(graph.num_vertices, dtype=bool)
+    matching: list[int] = []
+    for edge_id in reversed(list(stack)):
+        u, v = graph.edge_endpoints(int(edge_id))
+        if not matched[u] and not matched[v]:
+            matched[u] = True
+            matched[v] = True
+            matching.append(int(edge_id))
+    return matching
+
+
+def local_ratio_matching(
+    graph: Graph,
+    *,
+    order: Sequence[int] | np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    selector: Callable[[np.ndarray], int] | None = None,
+) -> MatchingResult:
+    """Paz–Schwartzman local ratio 2-approximation for maximum weight matching.
+
+    ``order`` is the order in which edges are *considered*; an edge is
+    selected only if its residual weight is still positive when reached.
+    ``selector`` is unused here but documents the extension point the
+    randomized variant exploits (it selects the heaviest sampled edge per
+    vertex instead of following a fixed order).
+    """
+    m = graph.num_edges
+    if order is None:
+        order = np.arange(m) if rng is None else rng.permutation(m)
+    # phi[v] = total weight reduction applied to edges incident to v.
+    phi = np.zeros(graph.num_vertices, dtype=np.float64)
+    stack: list[int] = []
+    for edge in np.asarray(order, dtype=np.int64):
+        u, v = graph.edge_endpoints(int(edge))
+        residual = graph.edge_weight(int(edge)) - phi[u] - phi[v]
+        if residual <= 1e-12:
+            continue
+        phi[u] += residual
+        phi[v] += residual
+        stack.append(int(edge))
+    matching = unwind_matching_stack(graph, stack)
+    weight = float(graph.weights[np.asarray(matching, dtype=np.int64)].sum()) if matching else 0.0
+    return MatchingResult(
+        matching, weight, stack_size=len(stack), algorithm="local-ratio-matching-sequential"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Maximum weight b-matching (Appendix D)
+# --------------------------------------------------------------------------- #
+def _capacity_array(graph: Graph, b: Mapping[int, int] | Sequence[int] | int) -> np.ndarray:
+    if isinstance(b, Mapping):
+        return np.array([int(b.get(v, 1)) for v in range(graph.num_vertices)], dtype=np.int64)
+    if np.isscalar(b):
+        return np.full(graph.num_vertices, int(b), dtype=np.int64)  # type: ignore[arg-type]
+    arr = np.asarray(b, dtype=np.int64)
+    if arr.shape != (graph.num_vertices,):
+        raise ValueError("capacity vector must have one entry per vertex")
+    return arr
+
+
+def unwind_b_matching_stack(
+    graph: Graph, stack: Sequence[int], capacities: np.ndarray
+) -> list[int]:
+    """Unwind a b-matching stack, adding edges while both endpoints have capacity."""
+    remaining = capacities.astype(np.int64).copy()
+    chosen: list[int] = []
+    for edge_id in reversed(list(stack)):
+        u, v = graph.edge_endpoints(int(edge_id))
+        if remaining[u] > 0 and remaining[v] > 0:
+            remaining[u] -= 1
+            remaining[v] -= 1
+            chosen.append(int(edge_id))
+    return chosen
+
+
+def local_ratio_b_matching(
+    graph: Graph,
+    b: Mapping[int, int] | Sequence[int] | int,
+    *,
+    epsilon: float = 0.1,
+    order: Sequence[int] | np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> MatchingResult:
+    """ε-adjusted local ratio algorithm for maximum weight b-matching.
+
+    Follows Appendix D: selecting edge ``e = (u, v)`` of residual weight
+    ``w`` reduces incident edges at ``u`` by ``w / b(u)`` and at ``v`` by
+    ``w / b(v)``; an edge is treated as dead once its weight is at most
+    ``(1 + ε)`` times the accumulated incident reductions.  Unwinding the
+    stack greedily yields a ``(3 − 2/max(2, b) + 2ε)``-approximation.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    capacities = _capacity_array(graph, b)
+    if np.any(capacities < 1):
+        raise ValueError("all capacities must be at least 1")
+    m = graph.num_edges
+    if order is None:
+        order = np.arange(m) if rng is None else rng.permutation(m)
+    phi = np.zeros(graph.num_vertices, dtype=np.float64)
+    stack: list[int] = []
+    for edge in np.asarray(order, dtype=np.int64):
+        u, v = graph.edge_endpoints(int(edge))
+        w = graph.edge_weight(int(edge))
+        if w <= (1.0 + epsilon) * (phi[u] + phi[v]) + 1e-12:
+            continue
+        residual = w - phi[u] - phi[v]
+        phi[u] += residual / capacities[u]
+        phi[v] += residual / capacities[v]
+        stack.append(int(edge))
+    chosen = unwind_b_matching_stack(graph, stack, capacities)
+    weight = float(graph.weights[np.asarray(chosen, dtype=np.int64)].sum()) if chosen else 0.0
+    return MatchingResult(
+        chosen, weight, stack_size=len(stack), algorithm="local-ratio-b-matching-sequential"
+    )

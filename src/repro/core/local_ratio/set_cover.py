@@ -1,0 +1,197 @@
+"""Algorithm 1 — randomized local ratio ``f``-approximation for weighted set cover.
+
+The algorithm (Section 2.1 of the paper) repeatedly samples each still-alive
+element independently with probability ``p = min(1, 2η/|U_r|)``, ships the
+sample to a central machine, and runs the sequential local ratio method on
+the sampled elements only.  Because the sequential method may process
+elements in an arbitrary order, the output is still an exact
+``f``-approximation (Theorem 2.3); the sampling merely determines the order
+and — crucially — the weight reductions caused by the sample kill a constant
+fraction of the *unsampled* elements, so only ``O(c/µ)`` iterations are
+needed when ``m ≤ n^{1+c}`` and ``η = n^{1+µ}``.
+
+Weighted vertex cover is the ``f = 2`` special case
+(:func:`randomized_local_ratio_vertex_cover`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mapreduce.exceptions import AlgorithmFailureError
+from ...setcover.instance import SetCoverInstance
+from ..results import IterationStats, SetCoverResult
+
+__all__ = [
+    "randomized_local_ratio_set_cover",
+    "randomized_local_ratio_vertex_cover",
+    "default_eta",
+]
+
+#: Sample-size multiplier from Line 5 of Algorithm 1 (``p = min(1, 2η/|U_r|)``).
+SAMPLE_MULTIPLIER = 2.0
+#: Failure threshold from Line 6 of Algorithm 1 (``|U'| > 6η``).
+FAILURE_MULTIPLIER = 6.0
+
+
+def default_eta(num_sets: int, mu: float) -> int:
+    """The paper's default per-machine budget ``η = n^{1+µ}``."""
+    if num_sets <= 0:
+        return 1
+    return max(1, int(round(num_sets ** (1.0 + mu))))
+
+
+def randomized_local_ratio_set_cover(
+    instance: SetCoverInstance,
+    eta: int,
+    rng: np.random.Generator,
+    *,
+    max_iterations: int | None = None,
+    on_failure: str = "resample",
+    max_failures: int = 20,
+) -> SetCoverResult:
+    """Run Algorithm 1 on ``instance`` with per-round sample budget ``η``.
+
+    Parameters
+    ----------
+    instance:
+        The weighted set cover instance (``n`` sets over ``m`` elements).
+    eta:
+        Sample budget ``η``; the paper takes ``η = n^{1+µ}`` so a sample of
+        ``O(η)`` elements (each with its ≤ ``f`` containing sets) fits on one
+        machine.
+    rng:
+        Randomness source.
+    max_iterations:
+        Safety cap on the number of sampling iterations (defaults to
+        ``4 + 4·⌈log(m+1)⌉``, far above the ``⌈c/µ⌉`` bound of Theorem 2.3).
+    on_failure:
+        What to do when a sample exceeds ``6η`` elements (an
+        ``exp(-η)``-probability event): ``"resample"`` retries the iteration
+        with a fresh sample, ``"raise"`` raises
+        :class:`AlgorithmFailureError`.  Failed attempts are counted on the
+        result either way.
+    max_failures:
+        Cap on consecutive resampling attempts before giving up.
+
+    Returns
+    -------
+    SetCoverResult
+        Chosen set ids, total weight and the per-iteration trace used by the
+        MapReduce driver for round/space accounting.
+    """
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    if on_failure not in ("resample", "raise"):
+        raise ValueError("on_failure must be 'resample' or 'raise'")
+    m = instance.num_elements
+    n = instance.num_sets
+    if max_iterations is None:
+        max_iterations = 4 + 4 * int(np.ceil(np.log2(m + 2)))
+
+    residual = instance.weights.astype(np.float64).copy()
+    in_cover = np.zeros(n, dtype=bool)
+    covered = np.zeros(m, dtype=bool)
+    chosen: list[int] = []
+    iterations: list[IterationStats] = []
+    failed_attempts = 0
+
+    def run_local_ratio_on(sample: np.ndarray) -> int:
+        """Continue the global local ratio computation on the sampled elements."""
+        selected_before = len(chosen)
+        for element in sample:
+            element = int(element)
+            if covered[element]:
+                continue
+            owners = instance.sets_containing(element)
+            if owners.size == 0:
+                continue
+            eps = float(residual[owners].min())
+            residual[owners] -= eps
+            newly_zero = owners[residual[owners] <= 1e-12]
+            for set_id in newly_zero:
+                set_id = int(set_id)
+                if not in_cover[set_id]:
+                    in_cover[set_id] = True
+                    chosen.append(set_id)
+                    elems = instance.set_elements(set_id)
+                    if elems.size:
+                        covered[elems] = True
+        return len(chosen) - selected_before
+
+    alive = np.flatnonzero(~covered)
+    iteration = 0
+    while alive.size:
+        iteration += 1
+        if iteration > max_iterations:
+            raise AlgorithmFailureError(
+                f"Algorithm 1 did not converge within {max_iterations} iterations"
+            )
+        p = min(1.0, SAMPLE_MULTIPLIER * eta / alive.size)
+        attempts = 0
+        while True:
+            attempts += 1
+            if p >= 1.0:
+                sampled = alive.copy()
+            else:
+                mask = rng.random(alive.size) < p
+                sampled = alive[mask]
+            if sampled.size <= FAILURE_MULTIPLIER * eta:
+                break
+            failed_attempts += 1
+            if on_failure == "raise":
+                raise AlgorithmFailureError(
+                    f"sample of size {sampled.size} exceeds 6η = {FAILURE_MULTIPLIER * eta:.0f}"
+                )
+            if attempts >= max_failures:
+                raise AlgorithmFailureError(
+                    f"sampling failed {attempts} consecutive times (|U_r| = {alive.size})"
+                )
+        # The random order within the sample exercises the order-robustness of
+        # the sequential method; a permutation costs nothing and avoids any
+        # accidental bias from element numbering.
+        order = rng.permutation(sampled) if sampled.size else sampled
+        selected = run_local_ratio_on(order)
+        sample_words = int(sum(instance.sets_containing(int(j)).size for j in sampled))
+        iterations.append(
+            IterationStats(
+                iteration=iteration,
+                alive=int(alive.size),
+                sampled=int(sampled.size),
+                sample_words=sample_words,
+                selected=selected,
+            )
+        )
+        alive = np.flatnonzero(~covered)
+        if p >= 1.0:
+            # Lemma 2.2: with p = 1 the local ratio pass covers everything.
+            break
+
+    weight = instance.cover_weight(chosen)
+    return SetCoverResult(
+        chosen_sets=chosen,
+        weight=weight,
+        iterations=iterations,
+        failed_attempts=failed_attempts,
+        algorithm="randomized-local-ratio-set-cover",
+    )
+
+
+def randomized_local_ratio_vertex_cover(
+    graph,
+    vertex_weights,
+    eta: int,
+    rng: np.random.Generator,
+    *,
+    on_failure: str = "resample",
+) -> SetCoverResult:
+    """Algorithm 1 specialised to weighted vertex cover (``f = 2``).
+
+    The graph's edges are the elements and its vertices are the sets; the
+    returned ``chosen_sets`` are vertex ids forming a 2-approximate minimum
+    weight vertex cover.
+    """
+    instance = SetCoverInstance.from_vertex_cover(graph, vertex_weights)
+    result = randomized_local_ratio_set_cover(instance, eta, rng, on_failure=on_failure)
+    result.algorithm = "randomized-local-ratio-vertex-cover"
+    return result

@@ -1,0 +1,148 @@
+"""Result objects shared by the core algorithms.
+
+Every algorithm returns a small dataclass carrying (i) the solution, (ii) the
+objective value, and (iii) a per-iteration trace (:class:`IterationStats`)
+recording the quantities that drive the MapReduce round/space accounting:
+how many items were still alive, how many were sampled, and how many words
+the sampled data occupies on the central machine.
+
+The MPC drivers in ``*/mapreduce_impl.py`` replay these traces against an
+:class:`~repro.mapreduce.engine.MPCContext` to produce the
+:class:`~repro.mapreduce.metrics.RunMetrics` used by the Figure 1 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "IterationStats",
+    "SetCoverResult",
+    "MatchingResult",
+    "IndependentSetResult",
+    "CliqueResult",
+    "ColouringResult",
+]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Statistics of one sampling iteration of a randomized algorithm.
+
+    Parameters
+    ----------
+    iteration:
+        One-based iteration counter.
+    alive:
+        Number of alive items (uncovered elements, positive-weight edges,
+        heavy vertices, …) at the start of the iteration.
+    sampled:
+        Number of items included in the iteration's random sample.
+    sample_words:
+        Words shipped to the central machine for this iteration (the sample
+        together with whatever per-item payload it carries).
+    selected:
+        Number of items the central machine added to the solution / stack
+        during the iteration.
+    phase:
+        Optional label used when an algorithm has nested loops (e.g. the
+        bucket index of Algorithm 3 or the degree class of Algorithm 6).
+    """
+
+    iteration: int
+    alive: int
+    sampled: int
+    sample_words: int
+    selected: int = 0
+    phase: str = ""
+
+
+@dataclass
+class SetCoverResult:
+    """Result of a set cover / vertex cover algorithm."""
+
+    chosen_sets: list[int]
+    weight: float
+    iterations: list[IterationStats] = field(default_factory=list)
+    failed_attempts: int = 0
+    algorithm: str = ""
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class MatchingResult:
+    """Result of a (b-)matching algorithm."""
+
+    edge_ids: list[int]
+    weight: float
+    iterations: list[IterationStats] = field(default_factory=list)
+    stack_size: int = 0
+    failed_attempts: int = 0
+    algorithm: str = ""
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class IndependentSetResult:
+    """Result of a maximal independent set algorithm."""
+
+    vertices: list[int]
+    iterations: list[IterationStats] = field(default_factory=list)
+    algorithm: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class CliqueResult:
+    """Result of a maximal clique algorithm."""
+
+    vertices: list[int]
+    iterations: list[IterationStats] = field(default_factory=list)
+    algorithm: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass
+class ColouringResult:
+    """Result of a vertex or edge colouring algorithm.
+
+    ``colours`` maps the item id (vertex id or edge id) to its colour; for
+    the MapReduce colouring algorithms colours are ``(group, local colour)``
+    pairs, exactly as in Algorithm 5.
+    """
+
+    colours: dict[int, object]
+    num_groups: int = 1
+    iterations: list[IterationStats] = field(default_factory=list)
+    algorithm: str = ""
+
+    @property
+    def num_colours(self) -> int:
+        return len(set(self.colours.values()))
+
+    def as_array(self, size: int | None = None) -> np.ndarray:
+        """Return colours re-indexed to consecutive integers ``0..k-1``."""
+        size = len(self.colours) if size is None else size
+        palette = {colour: idx for idx, colour in enumerate(sorted(set(self.colours.values()), key=repr))}
+        out = np.full(size, -1, dtype=np.int64)
+        for item, colour in self.colours.items():
+            out[item] = palette[colour]
+        return out

@@ -1,0 +1,44 @@
+"""Experiment harness: Figure-1 reproduction and ablation sweeps."""
+
+from .ablations import sweep_epsilon, sweep_mu, sweep_sample_budget
+from .figure1 import (
+    FIGURE1_EXPERIMENTS,
+    b_matching_experiment,
+    edge_colouring_experiment,
+    matching_experiment,
+    matching_mu0_experiment,
+    maximal_clique_experiment,
+    mis_experiment,
+    run_figure1,
+    set_cover_f_experiment,
+    set_cover_greedy_experiment,
+    vertex_colouring_experiment,
+    vertex_cover_experiment,
+)
+from .harness import ExperimentRecord, aggregate_records, run_trials, seeded_rngs
+from .scaling import rounds_vs_c, rounds_vs_n, space_vs_mu
+
+__all__ = [
+    "ExperimentRecord",
+    "aggregate_records",
+    "run_trials",
+    "seeded_rngs",
+    "FIGURE1_EXPERIMENTS",
+    "run_figure1",
+    "vertex_cover_experiment",
+    "set_cover_f_experiment",
+    "set_cover_greedy_experiment",
+    "mis_experiment",
+    "maximal_clique_experiment",
+    "matching_experiment",
+    "matching_mu0_experiment",
+    "b_matching_experiment",
+    "vertex_colouring_experiment",
+    "edge_colouring_experiment",
+    "sweep_mu",
+    "sweep_sample_budget",
+    "sweep_epsilon",
+    "rounds_vs_n",
+    "rounds_vs_c",
+    "space_vs_mu",
+]

@@ -1,0 +1,161 @@
+"""Ablation sweeps over the algorithmic knobs called out in DESIGN.md.
+
+These sweeps are not rows of Figure 1; they probe the *shape* of the paper's
+round bounds directly:
+
+* :func:`sweep_mu` — rounds as a function of ``µ`` for the ``O(c/µ)``-round
+  algorithms (matching, vertex cover, MIS): rounds should decrease roughly
+  like ``1/µ`` as machines get more memory.
+* :func:`sweep_sample_budget` — the effect of the per-round sample budget
+  ``η`` on the number of sampling iterations of Algorithm 1 / Algorithm 4.
+* :func:`sweep_epsilon` — the quality/rounds trade-off of ``ε`` for
+  Algorithm 3 (greedy set cover) and Algorithm 7 (b-matching).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.hungry_greedy import mpc_maximal_independent_set
+from ..core.local_ratio import (
+    mpc_weighted_b_matching,
+    mpc_weighted_matching,
+    mpc_weighted_vertex_cover,
+    randomized_local_ratio_matching,
+    randomized_local_ratio_set_cover,
+)
+from ..graphs import densified_graph
+from ..setcover import SetCoverInstance, random_coverage_instance
+from ..core.hungry_greedy import mpc_greedy_set_cover
+from .harness import ExperimentRecord
+
+__all__ = ["sweep_mu", "sweep_sample_budget", "sweep_epsilon"]
+
+
+def sweep_mu(
+    rng: np.random.Generator,
+    *,
+    n: int = 120,
+    c: float = 0.45,
+    mus: Sequence[float] = (0.15, 0.25, 0.35, 0.5),
+    algorithm: str = "matching",
+) -> list[ExperimentRecord]:
+    """Measure rounds as a function of ``µ`` for one of the ``O(c/µ)``-round algorithms."""
+    if algorithm not in ("matching", "vertex-cover", "mis"):
+        raise ValueError("algorithm must be 'matching', 'vertex-cover' or 'mis'")
+    graph = densified_graph(n, c, rng, weights="uniform")
+    vertex_weights = rng.uniform(1.0, 20.0, size=n)
+    records: list[ExperimentRecord] = []
+    for mu in mus:
+        if algorithm == "matching":
+            _, metrics = mpc_weighted_matching(graph, mu, rng)
+        elif algorithm == "vertex-cover":
+            _, metrics = mpc_weighted_vertex_cover(graph, vertex_weights, mu, rng)
+        else:
+            _, metrics = mpc_maximal_independent_set(graph, mu, rng)
+        record = ExperimentRecord(
+            experiment=f"ablation-mu-{algorithm}",
+            parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+            metrics={
+                "rounds": float(metrics.num_rounds),
+                "max_space_per_machine": float(metrics.max_space_per_machine),
+            },
+            bounds={"rounds": c / mu},
+        )
+        records.append(record)
+    return records
+
+
+def sweep_sample_budget(
+    rng: np.random.Generator,
+    *,
+    n: int = 120,
+    c: float = 0.45,
+    exponents: Sequence[float] = (1.0, 1.15, 1.3),
+    problem: str = "matching",
+) -> list[ExperimentRecord]:
+    """Measure sampling iterations as the per-round budget ``η = n^{exponent}`` grows."""
+    if problem not in ("matching", "set-cover"):
+        raise ValueError("problem must be 'matching' or 'set-cover'")
+    records: list[ExperimentRecord] = []
+    if problem == "matching":
+        graph = densified_graph(n, c, rng, weights="uniform")
+        for exponent in exponents:
+            eta = max(1, int(round(n**exponent)))
+            result = randomized_local_ratio_matching(graph, eta, rng)
+            records.append(
+                ExperimentRecord(
+                    experiment="ablation-eta-matching",
+                    parameters={"n": n, "m": graph.num_edges, "eta": eta, "exponent": exponent},
+                    metrics={
+                        "iterations": float(result.num_iterations),
+                        "stack_size": float(result.stack_size),
+                        "weight": result.weight,
+                    },
+                )
+            )
+    else:
+        num_sets = n
+        instance: SetCoverInstance = random_coverage_instance(num_sets, 8 * n, rng, density=0.02)
+        for exponent in exponents:
+            eta = max(1, int(round(n**exponent)))
+            result = randomized_local_ratio_set_cover(instance, eta, rng)
+            records.append(
+                ExperimentRecord(
+                    experiment="ablation-eta-set-cover",
+                    parameters={"n": num_sets, "m": instance.num_elements, "eta": eta},
+                    metrics={
+                        "iterations": float(result.num_iterations),
+                        "weight": result.weight,
+                    },
+                )
+            )
+    return records
+
+
+def sweep_epsilon(
+    rng: np.random.Generator,
+    *,
+    epsilons: Sequence[float] = (0.1, 0.25, 0.5, 1.0),
+    problem: str = "set-cover",
+    n: int = 90,
+    c: float = 0.45,
+    b: int = 3,
+    mu: float = 0.3,
+) -> list[ExperimentRecord]:
+    """Trade approximation quality against rounds via ``ε`` (Algorithm 3 / Algorithm 7)."""
+    if problem not in ("set-cover", "b-matching"):
+        raise ValueError("problem must be 'set-cover' or 'b-matching'")
+    records: list[ExperimentRecord] = []
+    if problem == "set-cover":
+        instance = random_coverage_instance(180, 50, rng, density=0.08)
+        for epsilon in epsilons:
+            result, metrics = mpc_greedy_set_cover(instance, mu, rng, epsilon=epsilon)
+            records.append(
+                ExperimentRecord(
+                    experiment="ablation-epsilon-set-cover",
+                    parameters={"epsilon": epsilon, "mu": mu},
+                    metrics={
+                        "weight": result.weight,
+                        "rounds": float(metrics.num_rounds),
+                        "inner_iterations": float(metrics.notes["inner_iterations"]),
+                    },
+                )
+            )
+    else:
+        graph = densified_graph(n, c, rng, weights="uniform")
+        for epsilon in epsilons:
+            result, metrics = mpc_weighted_b_matching(graph, b, mu, rng, epsilon=epsilon)
+            records.append(
+                ExperimentRecord(
+                    experiment="ablation-epsilon-b-matching",
+                    parameters={"epsilon": epsilon, "b": b, "mu": mu},
+                    metrics={
+                        "weight": result.weight,
+                        "rounds": float(metrics.num_rounds),
+                    },
+                )
+            )
+    return records

@@ -1,0 +1,100 @@
+"""Experiment harness: repetition over seeds, aggregation, result records.
+
+All Figure-1 experiments follow the same shape: build a synthetic workload
+from a seed, run the paper's MPC algorithm plus one or more baselines,
+validate every solution with an independent certificate checker, and report
+(i) solution quality relative to a reference, (ii) the measured MapReduce
+rounds, and (iii) the measured maximum space per machine.  This module holds
+the shared plumbing; :mod:`repro.experiments.figure1` holds the per-row
+logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ExperimentRecord", "aggregate_records", "run_trials", "seeded_rngs"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment trial's outcome.
+
+    ``metrics`` holds measured quantities (rounds, space, ratios, objective
+    values); ``bounds`` holds the corresponding theoretical values;
+    ``parameters`` records the workload parameters so records are
+    self-describing.
+    """
+
+    experiment: str
+    parameters: dict[str, object] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    bounds: dict[str, float] = field(default_factory=dict)
+    valid: bool = True
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a single dict suitable for table rendering."""
+        row: dict[str, object] = {"experiment": self.experiment, "valid": self.valid}
+        row.update({f"param:{k}": v for k, v in self.parameters.items()})
+        row.update({k: v for k, v in self.metrics.items()})
+        row.update({f"bound:{k}": v for k, v in self.bounds.items()})
+        return row
+
+
+def seeded_rngs(seed: int, trials: int) -> list[np.random.Generator]:
+    """Independent generators for ``trials`` repetitions derived from one seed."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(max(1, trials))]
+
+
+def run_trials(
+    experiment: Callable[[np.random.Generator], ExperimentRecord],
+    *,
+    seed: int = 0,
+    trials: int = 3,
+) -> list[ExperimentRecord]:
+    """Run ``experiment`` once per derived RNG and return all records."""
+    return [experiment(rng) for rng in seeded_rngs(seed, trials)]
+
+
+def aggregate_records(
+    records: Sequence[ExperimentRecord], *, reduce: str = "mean"
+) -> ExperimentRecord:
+    """Aggregate several trial records of the same experiment into one.
+
+    Metrics are averaged (``reduce="mean"``) or maximised (``reduce="max"``);
+    bounds and parameters are taken from the first record (they are identical
+    across trials); validity is the conjunction.
+    """
+    if not records:
+        raise ValueError("cannot aggregate zero records")
+    if reduce not in ("mean", "max"):
+        raise ValueError("reduce must be 'mean' or 'max'")
+    first = records[0]
+    metric_keys: list[str] = []
+    for record in records:
+        for key in record.metrics:
+            if key not in metric_keys:
+                metric_keys.append(key)
+    combined: dict[str, float] = {}
+    for key in metric_keys:
+        values = [r.metrics[key] for r in records if key in r.metrics]
+        combined[key] = float(mean(values) if reduce == "mean" else max(values))
+    return ExperimentRecord(
+        experiment=first.experiment,
+        parameters=dict(first.parameters),
+        metrics=combined,
+        bounds=dict(first.bounds),
+        valid=all(r.valid for r in records),
+        notes={"trials": len(records), "reduce": reduce},
+    )
+
+
+def records_to_rows(records: Iterable[ExperimentRecord]) -> list[Mapping[str, object]]:
+    """Convenience: flatten records for :func:`repro.analysis.tables.render_records`."""
+    return [record.as_row() for record in records]

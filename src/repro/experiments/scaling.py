@@ -1,0 +1,134 @@
+"""Scaling experiments: how rounds and space grow with the input size.
+
+The Figure-1 experiments measure a single operating point per row; the
+scaling sweeps here measure the *growth shape* that the theorems actually
+claim:
+
+* :func:`rounds_vs_n` — for fixed ``c`` and ``µ`` the sampling-iteration
+  count of the ``O(c/µ)``-round algorithms should stay (essentially) flat as
+  ``n`` grows, while Luby-style baselines grow like ``log n``;
+* :func:`rounds_vs_c` — for fixed ``n`` and ``µ`` the iteration count should
+  grow roughly linearly in the densification exponent ``c``;
+* :func:`space_vs_mu` — the per-machine footprint should scale like
+  ``n^{1+µ}``.
+
+Each function returns a list of :class:`ExperimentRecord` so the results can
+be tabulated with :func:`repro.analysis.tables.render_records`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines import luby_mis
+from ..core.hungry_greedy import hungry_greedy_mis_improved
+from ..core.local_ratio import (
+    default_eta_for_graph,
+    randomized_local_ratio_matching,
+    randomized_local_ratio_set_cover,
+)
+from ..graphs import densified_graph
+from ..setcover import vertex_cover_instance
+from .harness import ExperimentRecord
+
+__all__ = ["rounds_vs_n", "rounds_vs_c", "space_vs_mu"]
+
+
+def rounds_vs_n(
+    rng: np.random.Generator,
+    *,
+    sizes: Sequence[int] = (60, 120, 240),
+    c: float = 0.45,
+    mu: float = 0.3,
+    algorithm: str = "matching",
+) -> list[ExperimentRecord]:
+    """Iteration count as ``n`` grows at fixed ``c`` and ``µ``.
+
+    ``algorithm`` is ``"matching"``, ``"vertex-cover"`` or ``"mis"`` (the
+    latter also records Luby's round count for comparison).
+    """
+    if algorithm not in ("matching", "vertex-cover", "mis"):
+        raise ValueError("algorithm must be 'matching', 'vertex-cover' or 'mis'")
+    records: list[ExperimentRecord] = []
+    for n in sizes:
+        graph = densified_graph(n, c, rng, weights="uniform")
+        eta = default_eta_for_graph(graph, mu)
+        metrics: dict[str, float] = {}
+        if algorithm == "matching":
+            result = randomized_local_ratio_matching(graph, eta, rng)
+            metrics["iterations"] = float(result.num_iterations)
+        elif algorithm == "vertex-cover":
+            instance, _ = vertex_cover_instance(graph, rng)
+            result = randomized_local_ratio_set_cover(instance, eta, rng)
+            metrics["iterations"] = float(result.num_iterations)
+        else:
+            result = hungry_greedy_mis_improved(graph, mu, rng)
+            metrics["iterations"] = float(
+                sum(1 for s in result.iterations if s.phase.startswith("iteration"))
+            )
+            metrics["luby_rounds"] = float(luby_mis(graph, rng).num_iterations)
+        records.append(
+            ExperimentRecord(
+                experiment=f"scaling-n-{algorithm}",
+                parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+                metrics=metrics,
+                bounds={"iterations": c / mu},
+            )
+        )
+    return records
+
+
+def rounds_vs_c(
+    rng: np.random.Generator,
+    *,
+    n: int = 130,
+    cs: Sequence[float] = (0.3, 0.45, 0.6),
+    mu: float = 0.25,
+) -> list[ExperimentRecord]:
+    """Matching iteration count as the densification exponent ``c`` grows."""
+    records: list[ExperimentRecord] = []
+    for c in cs:
+        graph = densified_graph(n, c, rng, weights="uniform")
+        eta = default_eta_for_graph(graph, mu)
+        result = randomized_local_ratio_matching(graph, eta, rng)
+        records.append(
+            ExperimentRecord(
+                experiment="scaling-c-matching",
+                parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+                metrics={"iterations": float(result.num_iterations)},
+                bounds={"iterations": c / mu},
+            )
+        )
+    return records
+
+
+def space_vs_mu(
+    rng: np.random.Generator,
+    *,
+    n: int = 130,
+    c: float = 0.45,
+    mus: Sequence[float] = (0.15, 0.3, 0.5),
+) -> list[ExperimentRecord]:
+    """Central-machine sample footprint of Algorithm 4 as ``µ`` grows.
+
+    The per-round sample is capped at ``8η = 8·n^{1+µ}`` incidences, so the
+    measured footprint should scale like ``n^{1+µ}`` (until the whole graph
+    fits in one sample).
+    """
+    records: list[ExperimentRecord] = []
+    graph = densified_graph(n, c, rng, weights="uniform")
+    for mu in mus:
+        eta = default_eta_for_graph(graph, mu)
+        result = randomized_local_ratio_matching(graph, eta, rng)
+        peak_sample = max((s.sample_words for s in result.iterations), default=0)
+        records.append(
+            ExperimentRecord(
+                experiment="scaling-space-matching",
+                parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, "eta": eta},
+                metrics={"peak_sample_words": float(peak_sample)},
+                bounds={"peak_sample_words": 24.0 * n ** (1.0 + mu)},
+            )
+        )
+    return records

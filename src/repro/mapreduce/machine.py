@@ -1,0 +1,168 @@
+"""A single machine in the simulated MapReduce / MPC cluster.
+
+Each machine owns a word-accounted key-value store.  "Words" are the unit of
+the Karloff–Suri–Vassilvitskii space accounting: a vertex identifier, an
+element identifier, a weight, or one endpoint of an edge each cost one word.
+Helper functions :func:`words_of` estimate the word cost of the Python and
+NumPy values used throughout the package.
+
+A machine never performs computation by itself — the :class:`~repro.mapreduce.engine.MPCContext`
+orchestrates rounds — but it *enforces* the memory budget: any attempt to
+store more words than the budget raises :class:`MemoryExceededError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from .exceptions import MemoryExceededError
+
+__all__ = ["Machine", "words_of"]
+
+
+def words_of(value: Any) -> int:
+    """Estimate the number of machine words needed to store ``value``.
+
+    The accounting follows the conventions of the MRC model:
+
+    * ``None`` costs 0 words;
+    * an integer, float, bool or string token costs 1 word;
+    * a NumPy array costs its number of elements;
+    * a list/tuple/set/frozenset costs the sum of its items' costs;
+    * a dict costs the sum of key and value costs.
+
+    The estimate is intentionally simple and deterministic — it is used for
+    *model-level* space accounting, not for measuring Python's actual memory
+    footprint.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (bool, int, float, np.integer, np.floating, str, bytes)):
+        return 1
+    if isinstance(value, np.ndarray):
+        return int(value.size)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(words_of(item) for item in value)
+    if isinstance(value, Mapping):
+        return sum(words_of(k) + words_of(v) for k, v in value.items())
+    # Objects exposing their own accounting (e.g. DistributedGraph shards).
+    if hasattr(value, "word_count"):
+        return int(value.word_count())
+    # Fallback: one word.  Deliberately cheap so that small bookkeeping
+    # objects do not dominate the accounting.
+    return 1
+
+
+class Machine:
+    """A single worker (or central) machine with a hard word budget.
+
+    Parameters
+    ----------
+    machine_id:
+        Identifier of the machine; integers for workers, ``"central"`` for
+        the designated coordinator.
+    memory_limit:
+        Maximum number of words the machine may hold at any point.  ``None``
+        disables enforcement (useful for sequential reference runs).
+    """
+
+    __slots__ = ("machine_id", "memory_limit", "_store", "_words", "_peak_words")
+
+    def __init__(self, machine_id: object, memory_limit: int | None = None):
+        self.machine_id = machine_id
+        self.memory_limit = None if memory_limit is None else int(memory_limit)
+        self._store: dict[Any, Any] = {}
+        self._words = 0
+        self._peak_words = 0
+
+    # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+    def put(self, key: Any, value: Any, *, words: int | None = None) -> None:
+        """Store ``value`` under ``key``, charging ``words`` words.
+
+        If ``key`` already exists its previous cost is refunded first.
+        Raises :class:`MemoryExceededError` if the budget would be exceeded.
+        """
+        cost = words_of(value) if words is None else int(words)
+        previous = 0
+        if key in self._store:
+            previous = self._store[key][1]
+        new_total = self._words - previous + cost
+        if self.memory_limit is not None and new_total > self.memory_limit:
+            raise MemoryExceededError(
+                self.machine_id, new_total, self.memory_limit, context=f"put({key!r})"
+            )
+        self._store[key] = (value, cost)
+        self._words = new_total
+        self._peak_words = max(self._peak_words, self._words)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` (or ``default``)."""
+        entry = self._store.get(key)
+        return default if entry is None else entry[0]
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """Remove and return the value stored under ``key``."""
+        entry = self._store.pop(key, None)
+        if entry is None:
+            return default
+        value, cost = entry
+        self._words -= cost
+        return value
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` if present (no error if absent)."""
+        self.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all stored data and reset the live word count (peak is kept)."""
+        self._store.clear()
+        self._words = 0
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._store.keys())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def words_used(self) -> int:
+        """Number of words currently held."""
+        return self._words
+
+    @property
+    def peak_words(self) -> int:
+        """Largest number of words ever held simultaneously."""
+        return self._peak_words
+
+    def charge(self, words: int, context: str = "") -> None:
+        """Verify that holding ``words`` *additional* transient words is allowed.
+
+        Used for ephemeral round inputs that are processed and discarded
+        within a round (they still count against the space budget while they
+        are resident).
+        """
+        total = self._words + int(words)
+        if self.memory_limit is not None and total > self.memory_limit:
+            raise MemoryExceededError(self.machine_id, total, self.memory_limit, context=context)
+        self._peak_words = max(self._peak_words, total)
+
+    def reset_peak(self) -> None:
+        """Reset the peak-words statistic to the current live usage."""
+        self._peak_words = self._words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        limit = "∞" if self.memory_limit is None else str(self.memory_limit)
+        return (
+            f"Machine(id={self.machine_id!r}, words={self._words}/{limit}, "
+            f"peak={self._peak_words})"
+        )

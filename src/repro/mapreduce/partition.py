@@ -1,0 +1,87 @@
+"""Partitioning strategies for distributing items across machines.
+
+The MRC formalization assigns input items (edges, elements, sets) to
+machines.  The paper uses two flavours:
+
+* *arbitrary / balanced* assignment — e.g. "each element j will be assigned
+  arbitrarily to one of the machines, with ``n^{1+µ}`` elements per machine"
+  (Theorem 2.4);
+* *random* assignment — e.g. "each vertex and its adjacency list is assigned
+  to one of the M machines, randomly chosen" (Theorem 3.3), where a Chernoff
+  bound keeps loads balanced w.h.p.
+
+Both are provided here, along with a deterministic hash partitioner for
+reproducibility-sensitive callers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "balanced_partition",
+    "random_partition",
+    "hash_partition",
+    "partition_counts",
+    "num_machines_for",
+]
+
+
+def num_machines_for(num_items: int, capacity: int) -> int:
+    """Number of machines needed to hold ``num_items`` at ``capacity`` items each.
+
+    Always at least 1.  This mirrors the paper's ``M = m / n^{1+µ}``.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    return max(1, -(-int(num_items) // int(capacity)))
+
+
+def balanced_partition(num_items: int, num_machines: int) -> np.ndarray:
+    """Assign items ``0..num_items-1`` to machines in contiguous balanced blocks.
+
+    Returns an array ``assign`` of length ``num_items`` with
+    ``assign[i]`` ∈ ``[0, num_machines)``; block sizes differ by at most one.
+    """
+    if num_machines <= 0:
+        raise ValueError("num_machines must be positive")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    # np.array_split gives blocks whose sizes differ by at most one.
+    assign = np.empty(num_items, dtype=np.int64)
+    boundaries = np.linspace(0, num_items, num_machines + 1).astype(np.int64)
+    for machine, (lo, hi) in enumerate(zip(boundaries[:-1], boundaries[1:])):
+        assign[lo:hi] = machine
+    return assign
+
+
+def random_partition(
+    num_items: int, num_machines: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Assign each item independently and uniformly to a machine."""
+    if num_machines <= 0:
+        raise ValueError("num_machines must be positive")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    return rng.integers(0, num_machines, size=num_items, dtype=np.int64)
+
+
+def hash_partition(keys: Sequence[int] | np.ndarray, num_machines: int) -> np.ndarray:
+    """Deterministically assign integer keys to machines by a mixing hash.
+
+    The hash is a fixed multiplicative mix (Knuth's constant) so the
+    assignment is stable across runs and independent of Python's
+    randomized ``hash``.
+    """
+    if num_machines <= 0:
+        raise ValueError("num_machines must be positive")
+    arr = np.asarray(keys, dtype=np.uint64)
+    mixed = (arr * np.uint64(2654435761)) % np.uint64(2**32)
+    return (mixed % np.uint64(num_machines)).astype(np.int64)
+
+
+def partition_counts(assignment: np.ndarray, num_machines: int) -> np.ndarray:
+    """Return the number of items assigned to each machine."""
+    return np.bincount(np.asarray(assignment, dtype=np.int64), minlength=num_machines)

@@ -1,0 +1,23 @@
+"""Weighted set cover substrate: instances, generators, validation."""
+
+from .generators import (
+    disjoint_groups_instance,
+    planted_partition_instance,
+    random_coverage_instance,
+    random_frequency_bounded_instance,
+    vertex_cover_instance,
+)
+from .instance import SetCoverInstance
+from .validation import cover_weight, is_cover, uncovered_elements
+
+__all__ = [
+    "SetCoverInstance",
+    "random_frequency_bounded_instance",
+    "random_coverage_instance",
+    "planted_partition_instance",
+    "disjoint_groups_instance",
+    "vertex_cover_instance",
+    "is_cover",
+    "cover_weight",
+    "uncovered_elements",
+]

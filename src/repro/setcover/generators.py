@@ -1,0 +1,162 @@
+"""Synthetic weighted set cover workloads.
+
+Two regimes appear in the paper:
+
+* the ``f``-approximation (Theorem 2.4) targets instances where the ground
+  set is huge compared to the number of sets (``n ≪ m``, e.g. vertex cover
+  where the elements are the edges), with every element appearing in at most
+  ``f`` sets;
+* the ``(1+ε) ln ∆`` greedy algorithm (Theorem 4.6) targets instances with
+  ``m ≪ n`` and ``n = poly(m)``.
+
+Generators for both regimes are provided, plus a couple of structured
+instances with known optima that the tests use for exact approximation-ratio
+checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import SetCoverInstance
+
+__all__ = [
+    "random_frequency_bounded_instance",
+    "random_coverage_instance",
+    "planted_partition_instance",
+    "disjoint_groups_instance",
+    "vertex_cover_instance",
+]
+
+
+def _random_weights(
+    n: int, rng: np.random.Generator, weight_range: tuple[float, float]
+) -> np.ndarray:
+    lo, hi = weight_range
+    return rng.uniform(lo, hi, size=n)
+
+
+def random_frequency_bounded_instance(
+    num_sets: int,
+    num_elements: int,
+    max_frequency: int,
+    rng: np.random.Generator,
+    *,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> SetCoverInstance:
+    """An instance where every element lies in at most ``max_frequency`` sets.
+
+    Each element independently chooses between 1 and ``max_frequency``
+    distinct sets to belong to, so coverage is guaranteed and the frequency
+    bound ``f`` holds exactly.  This is the workload for the
+    ``f``-approximation experiments (``n ≪ m``).
+    """
+    if max_frequency < 1:
+        raise ValueError("max_frequency must be at least 1")
+    if num_sets < max_frequency:
+        raise ValueError("need at least max_frequency sets")
+    members: list[list[int]] = [[] for _ in range(num_sets)]
+    for element in range(num_elements):
+        k = int(rng.integers(1, max_frequency + 1))
+        owners = rng.choice(num_sets, size=k, replace=False)
+        for set_id in owners:
+            members[int(set_id)].append(element)
+    weights = _random_weights(num_sets, rng, weight_range)
+    return SetCoverInstance(members, weights, num_elements=num_elements)
+
+
+def random_coverage_instance(
+    num_sets: int,
+    num_elements: int,
+    rng: np.random.Generator,
+    *,
+    density: float = 0.05,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> SetCoverInstance:
+    """A dense-ish random instance for the greedy regime (``m ≪ n``).
+
+    Each (set, element) incidence is present independently with probability
+    ``density``; a final pass adds each uncovered element to one random set
+    so the instance is feasible.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    incidence = rng.random((num_sets, num_elements)) < density
+    uncovered = ~incidence.any(axis=0)
+    for element in np.flatnonzero(uncovered):
+        incidence[int(rng.integers(0, num_sets)), element] = True
+    members = [np.flatnonzero(incidence[i]) for i in range(num_sets)]
+    weights = _random_weights(num_sets, rng, weight_range)
+    return SetCoverInstance(members, weights, num_elements=num_elements)
+
+
+def planted_partition_instance(
+    num_blocks: int,
+    block_size: int,
+    decoys_per_block: int,
+    rng: np.random.Generator,
+    *,
+    cheap_weight: float = 1.0,
+    decoy_weight: float = 0.8,
+) -> SetCoverInstance:
+    """An instance with a *known* optimal cover.
+
+    The ground set is partitioned into ``num_blocks`` blocks of
+    ``block_size`` elements.  For each block there is one "planted" set
+    covering the whole block at weight ``cheap_weight``, plus
+    ``decoys_per_block`` sets each covering a strict random subset at weight
+    ``decoy_weight``.  Choosing all planted sets is optimal whenever
+    ``decoy_weight > cheap_weight / 2`` (a decoy never covers a full block,
+    so at least two sets per block are needed otherwise); the optimum value
+    ``num_blocks * cheap_weight`` is returned by
+    :meth:`SetCoverInstance.cover_weight` on ``range(num_blocks)``.
+    """
+    if block_size < 2:
+        raise ValueError("block_size must be at least 2 so decoys are strictly partial")
+    sets: list[np.ndarray] = []
+    weights: list[float] = []
+    m = num_blocks * block_size
+    for block in range(num_blocks):
+        lo = block * block_size
+        block_elements = np.arange(lo, lo + block_size)
+        sets.append(block_elements)
+        weights.append(cheap_weight)
+    for block in range(num_blocks):
+        lo = block * block_size
+        block_elements = np.arange(lo, lo + block_size)
+        for _ in range(decoys_per_block):
+            size = int(rng.integers(1, block_size))
+            subset = rng.choice(block_elements, size=size, replace=False)
+            sets.append(subset)
+            weights.append(decoy_weight)
+    return SetCoverInstance(sets, np.asarray(weights), num_elements=m)
+
+
+def disjoint_groups_instance(
+    num_groups: int, group_size: int, *, weight: float = 1.0
+) -> SetCoverInstance:
+    """The trivial instance of disjoint sets (optimum = all sets, f = 1)."""
+    sets = [np.arange(g * group_size, (g + 1) * group_size) for g in range(num_groups)]
+    weights = np.full(num_groups, weight)
+    return SetCoverInstance(sets, weights, num_elements=num_groups * group_size)
+
+
+def vertex_cover_instance(
+    graph,
+    rng: np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+    vertex_weights: np.ndarray | None = None,
+) -> tuple[SetCoverInstance, np.ndarray]:
+    """Encode weighted vertex cover on ``graph`` as a frequency-2 set cover instance.
+
+    Returns the instance and the vertex weight vector used.
+    """
+    n = graph.num_vertices
+    if vertex_weights is None:
+        if rng is None:
+            vertex_weights = np.ones(n, dtype=np.float64)
+        else:
+            vertex_weights = _random_weights(n, rng, weight_range)
+    instance = SetCoverInstance.from_vertex_cover(graph, vertex_weights)
+    return instance, np.asarray(vertex_weights, dtype=np.float64)

@@ -1,0 +1,218 @@
+"""Weighted set cover instances.
+
+In the weighted set cover problem we are given ``n`` sets
+``S_1, …, S_n ⊆ [m]`` with positive weights ``w_1, …, w_n`` and must find a
+minimum-weight sub-collection covering the ground set ``[m]``.
+
+The instance stores both the *primal* view (each set's elements) and the
+*dual* view (for each element ``j``, the list ``T_j`` of sets containing it),
+because the paper's ``f``-approximation operates on the dual representation
+(Theorem 2.4) while the greedy ``(1+ε)·H_∆`` algorithm works on the primal
+one (Section 4).
+
+The key structural parameters of Figure 1 are exposed as properties:
+
+* ``frequency`` — ``f``, the largest number of sets containing any element;
+* ``max_set_size`` — ``∆``, the size of the largest set;
+* ``weight_ratio`` — ``w_max / w_min``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..mapreduce.exceptions import InfeasibleInstanceError
+
+__all__ = ["SetCoverInstance"]
+
+
+class SetCoverInstance:
+    """An immutable weighted set cover instance.
+
+    Parameters
+    ----------
+    sets:
+        Iterable of element collections; ``sets[i]`` are the elements of
+        ``S_i``.  Elements are integers in ``[0, num_elements)``.
+    weights:
+        Positive weight of each set.  Defaults to all ones.
+    num_elements:
+        Size ``m`` of the ground set.  Defaults to one plus the largest
+        element mentioned.
+    validate:
+        When ``True`` (default), check element ranges, weight positivity,
+        and that every element is coverable.
+    """
+
+    __slots__ = ("_sets", "_weights", "_m", "_element_to_sets", "_set_sizes")
+
+    def __init__(
+        self,
+        sets: Iterable[Iterable[int]],
+        weights: Sequence[float] | np.ndarray | None = None,
+        *,
+        num_elements: int | None = None,
+        validate: bool = True,
+    ):
+        normalized: list[np.ndarray] = []
+        max_element = -1
+        for s in sets:
+            arr = np.unique(np.asarray(list(s), dtype=np.int64))
+            normalized.append(arr)
+            if arr.size:
+                max_element = max(max_element, int(arr.max()))
+        self._sets = normalized
+        m = (max_element + 1) if num_elements is None else int(num_elements)
+        self._m = m
+        n = len(normalized)
+        if weights is None:
+            w = np.ones(n, dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (n,):
+                raise ValueError("weights must have one entry per set")
+        self._weights = w
+        if validate:
+            if np.any(w <= 0) or np.any(~np.isfinite(w)):
+                raise ValueError("set weights must be positive and finite")
+            for arr in normalized:
+                if arr.size and (arr.min() < 0 or arr.max() >= m):
+                    raise ValueError("set element out of range")
+        # Dual view: for each element, the ids of the sets containing it.
+        element_to_sets: list[list[int]] = [[] for _ in range(m)]
+        for set_id, arr in enumerate(normalized):
+            for element in arr:
+                element_to_sets[int(element)].append(set_id)
+        self._element_to_sets = [np.asarray(lst, dtype=np.int64) for lst in element_to_sets]
+        self._set_sizes = np.array([arr.size for arr in normalized], dtype=np.int64)
+        if validate:
+            uncovered = [j for j, lst in enumerate(self._element_to_sets) if lst.size == 0]
+            if uncovered:
+                raise InfeasibleInstanceError(
+                    f"{len(uncovered)} element(s) are contained in no set; "
+                    f"first few: {uncovered[:5]}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sets(self) -> int:
+        """Number of sets ``n``."""
+        return len(self._sets)
+
+    @property
+    def num_elements(self) -> int:
+        """Size of the ground set ``m``."""
+        return self._m
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Set weights (read-only view)."""
+        return self._weights
+
+    def set_elements(self, set_id: int) -> np.ndarray:
+        """Elements of ``S_{set_id}``."""
+        return self._sets[set_id]
+
+    def sets_containing(self, element: int) -> np.ndarray:
+        """The dual list ``T_j``: ids of sets containing ``element``."""
+        return self._element_to_sets[element]
+
+    @property
+    def set_sizes(self) -> np.ndarray:
+        """``|S_i|`` for every set (read-only view)."""
+        return self._set_sizes
+
+    # ------------------------------------------------------------------ #
+    # Structural parameters (Figure 1)
+    # ------------------------------------------------------------------ #
+    @property
+    def frequency(self) -> int:
+        """``f``: the maximum number of sets containing any single element."""
+        if self._m == 0:
+            return 0
+        return int(max(lst.size for lst in self._element_to_sets))
+
+    @property
+    def max_set_size(self) -> int:
+        """``∆``: the size of the largest set."""
+        return int(self._set_sizes.max()) if self.num_sets else 0
+
+    @property
+    def weight_ratio(self) -> float:
+        """``w_max / w_min``."""
+        if self.num_sets == 0:
+            return 1.0
+        return float(self._weights.max() / self._weights.min())
+
+    @property
+    def total_size(self) -> int:
+        """``Σ_i |S_i|`` — the input size ``N`` in the MRC accounting."""
+        return int(self._set_sizes.sum())
+
+    # ------------------------------------------------------------------ #
+    # Solution helpers
+    # ------------------------------------------------------------------ #
+    def cover_weight(self, chosen: Iterable[int]) -> float:
+        """Total weight of the sets with the given ids."""
+        ids = np.asarray(sorted({int(i) for i in chosen}), dtype=np.int64)
+        return float(self._weights[ids].sum()) if ids.size else 0.0
+
+    def covered_elements(self, chosen: Iterable[int]) -> np.ndarray:
+        """Boolean mask of the elements covered by the chosen sets."""
+        mask = np.zeros(self._m, dtype=bool)
+        for set_id in chosen:
+            elems = self._sets[int(set_id)]
+            if elems.size:
+                mask[elems] = True
+        return mask
+
+    def is_cover(self, chosen: Iterable[int]) -> bool:
+        """Return ``True`` if the chosen sets cover the entire ground set."""
+        return bool(self.covered_elements(chosen).all()) if self._m else True
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_vertex_cover(cls, graph, vertex_weights: Sequence[float] | np.ndarray | None = None):
+        """Encode weighted vertex cover as set cover with frequency ``f = 2``.
+
+        Each vertex becomes a set containing its incident edges; each edge is
+        an element contained in exactly its two endpoints' sets.
+        """
+        n = graph.num_vertices
+        sets = [graph.incident_edges(v) for v in range(n)]
+        weights = None if vertex_weights is None else np.asarray(vertex_weights, dtype=np.float64)
+        isolated_ok = all(graph.incident_edges(v) is not None for v in range(n))
+        assert isolated_ok
+        return cls(sets, weights, num_elements=graph.num_edges, validate=True)
+
+    def restricted_to_elements(self, elements: Iterable[int]) -> "SetCoverInstance":
+        """Return the instance induced on a subset of elements (re-using element ids).
+
+        Sets keep their ids and weights; only their element lists are
+        intersected with ``elements``.  Elements outside the subset simply do
+        not appear, so feasibility validation is skipped.
+        """
+        keep = np.zeros(self._m, dtype=bool)
+        idx = np.asarray(list(elements), dtype=np.int64)
+        if idx.size:
+            keep[idx] = True
+        new_sets = [arr[keep[arr]] if arr.size else arr for arr in self._sets]
+        return SetCoverInstance(
+            new_sets, self._weights.copy(), num_elements=self._m, validate=False
+        )
+
+    def word_count(self) -> int:
+        """Model-level size in words: one word per (set, element) incidence plus weights."""
+        return self.total_size + self.num_sets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetCoverInstance(n={self.num_sets}, m={self.num_elements}, "
+            f"f={self.frequency}, delta={self.max_set_size})"
+        )

@@ -1,0 +1,25 @@
+"""Certificate checkers for set cover solutions."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .instance import SetCoverInstance
+
+__all__ = ["is_cover", "cover_weight", "uncovered_elements"]
+
+
+def is_cover(instance: SetCoverInstance, chosen: Iterable[int]) -> bool:
+    """Return ``True`` if the chosen set ids cover the entire ground set."""
+    return instance.is_cover(chosen)
+
+
+def cover_weight(instance: SetCoverInstance, chosen: Iterable[int]) -> float:
+    """Total weight of the chosen sets."""
+    return instance.cover_weight(chosen)
+
+
+def uncovered_elements(instance: SetCoverInstance, chosen: Iterable[int]) -> list[int]:
+    """The elements left uncovered by the chosen sets (empty list if feasible)."""
+    mask = instance.covered_elements(chosen)
+    return [int(j) for j in range(instance.num_elements) if not mask[j]]

@@ -1,0 +1,91 @@
+"""Unit tests for the greedy set cover baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import harmonic
+from repro.baselines import (
+    epsilon_greedy_set_cover,
+    exact_set_cover_small,
+    greedy_set_cover,
+    harmonic_number,
+)
+from repro.setcover import (
+    SetCoverInstance,
+    disjoint_groups_instance,
+    is_cover,
+    random_coverage_instance,
+)
+
+
+class TestHarmonicNumber:
+    def test_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_non_positive(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(-3) == 0.0
+
+    def test_agrees_with_analysis_module(self):
+        assert harmonic_number(10) == pytest.approx(harmonic(10))
+
+
+class TestChvatalGreedy:
+    def test_feasible(self, coverage_instance):
+        result = greedy_set_cover(coverage_instance)
+        assert is_cover(coverage_instance, result.chosen_sets)
+
+    def test_h_delta_guarantee_small(self, rng):
+        for seed in range(4):
+            local_rng = np.random.default_rng(seed)
+            inst = random_coverage_instance(12, 20, local_rng, density=0.2)
+            _, optimum = exact_set_cover_small(inst)
+            result = greedy_set_cover(inst)
+            assert result.weight <= harmonic(inst.max_set_size) * optimum + 1e-9
+
+    def test_picks_obviously_best_set(self):
+        inst = SetCoverInstance([[0, 1, 2, 3], [0, 1], [2, 3]], [1.0, 1.0, 1.0])
+        result = greedy_set_cover(inst)
+        assert result.chosen_sets == [0]
+
+    def test_weighted_choice(self):
+        # The big set is too expensive per element; greedy takes the two cheap ones.
+        inst = SetCoverInstance([[0, 1, 2, 3], [0, 1], [2, 3]], [10.0, 1.0, 1.0])
+        result = greedy_set_cover(inst)
+        assert sorted(result.chosen_sets) == [1, 2]
+
+    def test_disjoint_instance(self):
+        inst = disjoint_groups_instance(4, 3)
+        result = greedy_set_cover(inst)
+        assert sorted(result.chosen_sets) == [0, 1, 2, 3]
+
+    def test_empty_ground_set(self):
+        inst = SetCoverInstance([], num_elements=0)
+        result = greedy_set_cover(inst)
+        assert result.chosen_sets == []
+        assert result.weight == 0.0
+
+
+class TestEpsilonGreedy:
+    def test_feasible_and_bounded(self, coverage_instance, rng):
+        result = epsilon_greedy_set_cover(coverage_instance, 0.3, rng)
+        assert is_cover(coverage_instance, result.chosen_sets)
+        greedy = greedy_set_cover(coverage_instance)
+        guarantee = 1.3 * harmonic(coverage_instance.max_set_size)
+        assert result.weight <= guarantee * greedy.weight + 1e-9
+
+    def test_epsilon_zero_matches_greedy_weight_closely(self, rng):
+        inst = random_coverage_instance(40, 25, rng, density=0.15)
+        eps_greedy = epsilon_greedy_set_cover(inst, 0.0, rng)
+        greedy = greedy_set_cover(inst)
+        # With ε = 0 the candidate pool is exactly the argmax set(s); ties may
+        # break differently but the weights should match the greedy guarantee.
+        assert eps_greedy.weight <= harmonic(inst.max_set_size) * greedy.weight + 1e-9
+
+    def test_rejects_negative_epsilon(self, coverage_instance, rng):
+        with pytest.raises(ValueError):
+            epsilon_greedy_set_cover(coverage_instance, -0.1, rng)

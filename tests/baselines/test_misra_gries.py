@@ -1,0 +1,93 @@
+"""Unit tests for the Misra–Gries (∆+1) edge colouring baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import misra_gries_edge_colouring
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnm_graph,
+    grid_graph,
+    is_proper_edge_colouring,
+    path_graph,
+    power_law_graph,
+    star_graph,
+)
+
+
+def _num_colours(colours: dict[int, int]) -> int:
+    return len(set(colours.values()))
+
+
+class TestStructuredGraphs:
+    def test_path(self):
+        g = path_graph(10)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) <= 3
+
+    def test_even_cycle_two_colours_allowed(self):
+        g = cycle_graph(8)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) <= 3  # ∆ + 1 = 3
+
+    def test_odd_cycle_needs_three(self):
+        g = cycle_graph(7)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) == 3
+
+    def test_star_uses_exactly_delta(self):
+        g = star_graph(9)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) == 9
+
+    def test_complete_graphs(self):
+        for n in (4, 5, 6, 7):
+            g = complete_graph(n)
+            colours = misra_gries_edge_colouring(g)
+            assert is_proper_edge_colouring(g, colours)
+            assert _num_colours(colours) <= g.max_degree() + 1
+
+    def test_grid(self):
+        g = grid_graph(5, 6)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) <= 5
+
+    def test_empty_graph(self):
+        assert misra_gries_edge_colouring(Graph(4, [])) == {}
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        colours = misra_gries_edge_colouring(g)
+        assert colours == {0: 0}
+
+
+class TestRandomGraphs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_proper_and_delta_plus_one(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gnm_graph(35, 140, rng)
+        colours = misra_gries_edge_colouring(g)
+        assert len(colours) == g.num_edges
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) <= g.max_degree() + 1
+
+    def test_power_law_graph(self, rng):
+        g = power_law_graph(60, 180, rng)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) <= g.max_degree() + 1
+
+    def test_dense_random_graph(self, rng):
+        g = gnm_graph(18, 120, rng)
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert _num_colours(colours) <= g.max_degree() + 1

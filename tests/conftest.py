@@ -1,0 +1,102 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    densified_graph,
+    gnm_graph,
+    path_graph,
+    star_graph,
+)
+from repro.setcover import (
+    SetCoverInstance,
+    planted_partition_instance,
+    random_coverage_instance,
+    random_frequency_bounded_instance,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests that need multiple streams spawn their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The triangle K3 with weights 1, 2, 3."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], [1.0, 2.0, 3.0])
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    """The path on 5 vertices."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def small_cycle() -> Graph:
+    """The cycle on 6 vertices."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def small_star() -> Graph:
+    """A star with 7 leaves."""
+    return star_graph(7)
+
+
+@pytest.fixture
+def small_complete() -> Graph:
+    """The complete graph K6."""
+    return complete_graph(6)
+
+
+@pytest.fixture
+def weighted_graph(rng) -> Graph:
+    """A moderately dense weighted random graph (60 vertices)."""
+    return gnm_graph(60, 300, rng, weights="uniform", weight_range=(1.0, 50.0))
+
+
+@pytest.fixture
+def medium_graph(rng) -> Graph:
+    """An unweighted densified graph (n=80, c=0.4)."""
+    return densified_graph(80, 0.4, rng)
+
+
+@pytest.fixture
+def small_instance() -> SetCoverInstance:
+    """A tiny hand-built set cover instance with known optimum 3.0.
+
+    Sets: {0,1,2} (w=3), {0,1} (w=1.5), {2,3} (w=1.5), {3} (w=1), {0,1,2,3} (w=3.5).
+    The optimum is {0,1}+{2,3} = 3.0.
+    """
+    return SetCoverInstance(
+        [[0, 1, 2], [0, 1], [2, 3], [3], [0, 1, 2, 3]],
+        [3.0, 1.5, 1.5, 1.0, 3.5],
+        num_elements=4,
+    )
+
+
+@pytest.fixture
+def frequency_instance(rng) -> SetCoverInstance:
+    """A random frequency-bounded instance (f ≤ 3)."""
+    return random_frequency_bounded_instance(30, 300, 3, rng)
+
+
+@pytest.fixture
+def coverage_instance(rng) -> SetCoverInstance:
+    """A random instance in the m ≪ n regime used by Algorithm 3."""
+    return random_coverage_instance(100, 40, rng, density=0.08)
+
+
+@pytest.fixture
+def planted_instance(rng) -> SetCoverInstance:
+    """An instance with a known optimum (the planted sets 0..9, weight 10.0)."""
+    return planted_partition_instance(10, 6, 4, rng)

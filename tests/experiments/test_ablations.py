@@ -1,0 +1,66 @@
+"""Tests for the ablation sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import sweep_epsilon, sweep_mu, sweep_sample_budget
+
+
+class TestSweepMu:
+    def test_matching_rounds_decrease_with_mu(self):
+        records = sweep_mu(
+            np.random.default_rng(0), n=100, c=0.45, mus=(0.15, 0.5), algorithm="matching"
+        )
+        assert len(records) == 2
+        assert records[0].metrics["rounds"] >= records[1].metrics["rounds"]
+
+    def test_vertex_cover_and_mis_variants(self):
+        for algorithm in ("vertex-cover", "mis"):
+            records = sweep_mu(
+                np.random.default_rng(1), n=80, c=0.4, mus=(0.2, 0.4), algorithm=algorithm
+            )
+            assert all(r.metrics["rounds"] > 0 for r in records)
+            assert all(r.bounds["rounds"] > 0 for r in records)
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            sweep_mu(np.random.default_rng(0), algorithm="bogus")
+
+
+class TestSweepSampleBudget:
+    def test_matching_iterations_decrease_with_eta(self):
+        records = sweep_sample_budget(
+            np.random.default_rng(2), n=100, c=0.45, exponents=(1.0, 1.4), problem="matching"
+        )
+        assert records[0].metrics["iterations"] >= records[-1].metrics["iterations"]
+
+    def test_set_cover_variant(self):
+        records = sweep_sample_budget(
+            np.random.default_rng(3), n=60, exponents=(1.0, 1.3), problem="set-cover"
+        )
+        assert len(records) == 2
+        assert all(r.metrics["weight"] > 0 for r in records)
+
+    def test_invalid_problem(self):
+        with pytest.raises(ValueError):
+            sweep_sample_budget(np.random.default_rng(0), problem="bogus")
+
+
+class TestSweepEpsilon:
+    def test_set_cover_epsilon_sweep(self):
+        records = sweep_epsilon(np.random.default_rng(4), epsilons=(0.1, 1.0), problem="set-cover")
+        assert len(records) == 2
+        assert all(r.metrics["weight"] > 0 for r in records)
+
+    def test_b_matching_epsilon_sweep(self):
+        records = sweep_epsilon(
+            np.random.default_rng(5), epsilons=(0.1, 0.5), problem="b-matching", n=60
+        )
+        assert len(records) == 2
+        assert all(r.metrics["rounds"] > 0 for r in records)
+
+    def test_invalid_problem(self):
+        with pytest.raises(ValueError):
+            sweep_epsilon(np.random.default_rng(0), problem="bogus")

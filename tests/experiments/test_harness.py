@@ -1,0 +1,91 @@
+"""Unit tests for the experiment harness plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentRecord, aggregate_records, run_trials, seeded_rngs
+from repro.experiments.harness import records_to_rows
+
+
+class TestSeededRngs:
+    def test_count_and_independence(self):
+        rngs = seeded_rngs(7, 4)
+        assert len(rngs) == 4
+        draws = [rng.random() for rng in rngs]
+        assert len(set(draws)) == 4
+
+    def test_reproducible(self):
+        a = [rng.random() for rng in seeded_rngs(3, 3)]
+        b = [rng.random() for rng in seeded_rngs(3, 3)]
+        assert a == b
+
+    def test_at_least_one(self):
+        assert len(seeded_rngs(0, 0)) == 1
+
+
+class TestRunTrials:
+    def test_runs_once_per_rng(self):
+        calls = []
+
+        def experiment(rng: np.random.Generator) -> ExperimentRecord:
+            value = float(rng.random())
+            calls.append(value)
+            return ExperimentRecord("demo", metrics={"value": value})
+
+        records = run_trials(experiment, seed=1, trials=5)
+        assert len(records) == 5
+        assert len(set(calls)) == 5
+
+
+class TestAggregateRecords:
+    def _records(self):
+        return [
+            ExperimentRecord("e", parameters={"n": 5}, metrics={"x": 1.0, "y": 10.0}, bounds={"b": 2.0}),
+            ExperimentRecord("e", parameters={"n": 5}, metrics={"x": 3.0, "y": 30.0}, bounds={"b": 2.0}),
+        ]
+
+    def test_mean(self):
+        agg = aggregate_records(self._records())
+        assert agg.metrics == {"x": 2.0, "y": 20.0}
+        assert agg.bounds == {"b": 2.0}
+        assert agg.parameters == {"n": 5}
+        assert agg.notes["trials"] == 2
+
+    def test_max(self):
+        agg = aggregate_records(self._records(), reduce="max")
+        assert agg.metrics == {"x": 3.0, "y": 30.0}
+
+    def test_validity_conjunction(self):
+        records = self._records()
+        records[1].valid = False
+        assert not aggregate_records(records).valid
+
+    def test_missing_metric_in_one_trial(self):
+        records = self._records()
+        records[1].metrics.pop("y")
+        agg = aggregate_records(records)
+        assert agg.metrics["y"] == 10.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            aggregate_records([])
+        with pytest.raises(ValueError):
+            aggregate_records(self._records(), reduce="median")
+
+
+class TestRecordFlattening:
+    def test_as_row_namespacing(self):
+        record = ExperimentRecord(
+            "e", parameters={"n": 5}, metrics={"rounds": 3.0}, bounds={"rounds": 2.0}
+        )
+        row = record.as_row()
+        assert row["param:n"] == 5
+        assert row["rounds"] == 3.0
+        assert row["bound:rounds"] == 2.0
+        assert row["experiment"] == "e"
+
+    def test_records_to_rows(self):
+        rows = records_to_rows([ExperimentRecord("a"), ExperimentRecord("b")])
+        assert [r["experiment"] for r in rows] == ["a", "b"]

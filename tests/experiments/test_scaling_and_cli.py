@@ -1,0 +1,100 @@
+"""Tests for the scaling sweeps and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import rounds_vs_c, rounds_vs_n, space_vs_mu
+
+
+class TestScalingSweeps:
+    def test_rounds_vs_n_matching_stays_flat(self):
+        records = rounds_vs_n(
+            np.random.default_rng(0), sizes=(60, 180), c=0.45, mu=0.3, algorithm="matching"
+        )
+        assert len(records) == 2
+        # O(c/µ) iterations: independent of n up to small noise.
+        assert abs(records[0].metrics["iterations"] - records[1].metrics["iterations"]) <= 2
+
+    def test_rounds_vs_n_mis_records_luby(self):
+        records = rounds_vs_n(
+            np.random.default_rng(1), sizes=(60, 120), c=0.4, mu=0.3, algorithm="mis"
+        )
+        assert all("luby_rounds" in r.metrics for r in records)
+
+    def test_rounds_vs_n_vertex_cover(self):
+        records = rounds_vs_n(
+            np.random.default_rng(2), sizes=(50, 100), algorithm="vertex-cover"
+        )
+        assert all(r.metrics["iterations"] >= 1 for r in records)
+
+    def test_rounds_vs_n_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            rounds_vs_n(np.random.default_rng(0), algorithm="bogus")
+
+    def test_rounds_vs_c_monotone_shape(self):
+        records = rounds_vs_c(np.random.default_rng(3), n=120, cs=(0.3, 0.6), mu=0.2)
+        assert records[0].metrics["iterations"] <= records[1].metrics["iterations"] + 1
+
+    def test_space_vs_mu_grows(self):
+        records = space_vs_mu(np.random.default_rng(4), n=120, mus=(0.15, 0.5))
+        assert records[0].metrics["peak_sample_words"] <= records[1].metrics["peak_sample_words"]
+        for record in records:
+            assert record.metrics["peak_sample_words"] <= record.bounds["peak_sample_words"]
+
+
+class TestCliParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.command == "figure1"
+        assert args.seed == 2018 and args.trials == 1
+
+    def test_experiment_requires_valid_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-a-real-experiment"])
+
+    def test_ablation_choices(self):
+        args = build_parser().parse_args(["ablation", "mu", "--algorithm", "mis"])
+        assert args.sweep == "mu" and args.algorithm == "mis"
+
+
+class TestCliExecution:
+    def test_single_experiment_table_output(self, capsys):
+        exit_code = main(["experiment", "fig1-vertex-colouring", "--seed", "5"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fig1-vertex-colouring" in captured
+        assert "colours_used" in captured
+
+    def test_single_experiment_json_output(self, capsys):
+        exit_code = main(["experiment", "fig1-mis", "--seed", "5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["experiment"] == "fig1-mis"
+        assert payload["valid"] is True
+        assert "rounds" in payload["metrics"]
+
+    def test_figure1_subset(self, capsys):
+        exit_code = main(
+            ["figure1", "--only", "fig1-vertex-colouring", "fig1-edge-colouring", "--seed", "3"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fig1-edge-colouring" in captured
+
+    def test_ablation_eta_json(self, capsys):
+        exit_code = main(["ablation", "eta", "--seed", "4", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert all("iterations" in item["metrics"] for item in payload)
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401  (import must not execute main)

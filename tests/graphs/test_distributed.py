@@ -1,0 +1,76 @@
+"""Unit tests for distributed graph placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import EDGE_WORDS, DistributedGraph, gnm_graph
+from repro.mapreduce import Cluster
+
+
+@pytest.fixture
+def placed(rng):
+    graph = gnm_graph(40, 200, rng)
+    cluster = Cluster(5, 10_000)
+    return graph, cluster, DistributedGraph(graph, cluster, rng)
+
+
+class TestPlacement:
+    def test_every_edge_assigned_once(self, placed):
+        graph, cluster, dist = placed
+        all_edges = np.concatenate([dist.edges_on_machine(i) for i in range(5)])
+        assert sorted(all_edges.tolist()) == list(range(graph.num_edges))
+
+    def test_every_vertex_assigned_once(self, placed):
+        graph, cluster, dist = placed
+        all_vertices = np.concatenate([dist.vertices_on_machine(i) for i in range(5)])
+        assert sorted(all_vertices.tolist()) == list(range(graph.num_vertices))
+
+    def test_balanced_edge_placement(self, placed):
+        graph, cluster, dist = placed
+        counts = np.array([dist.edges_on_machine(i).size for i in range(5)])
+        assert counts.max() - counts.min() <= 1
+
+    def test_random_edge_placement(self, rng):
+        graph = gnm_graph(30, 150, rng)
+        cluster = Cluster(3, 10_000)
+        dist = DistributedGraph(graph, cluster, rng, edge_placement="random")
+        total = sum(dist.edges_on_machine(i).size for i in range(3))
+        assert total == graph.num_edges
+
+    def test_unknown_placement_rejected(self, rng):
+        graph = gnm_graph(10, 20, rng)
+        with pytest.raises(ValueError):
+            DistributedGraph(graph, Cluster(2, 100), rng, edge_placement="bogus")
+
+
+class TestLoads:
+    def test_edge_loads_sum_to_total(self, placed):
+        graph, cluster, dist = placed
+        assert dist.edge_loads().sum() == EDGE_WORDS * graph.num_edges
+
+    def test_adjacency_loads_sum_to_twice_edges(self, placed):
+        graph, cluster, dist = placed
+        assert dist.adjacency_loads().sum() == 2 * graph.num_edges
+
+    def test_total_loads_and_word_count_agree(self, placed):
+        graph, cluster, dist = placed
+        assert dist.total_loads().sum() == dist.word_count()
+
+    def test_alive_mask_reduces_loads(self, placed):
+        graph, cluster, dist = placed
+        mask = np.zeros(graph.num_edges, dtype=bool)
+        mask[:10] = True
+        assert dist.edge_loads(mask).sum() == EDGE_WORDS * 10
+        assert dist.adjacency_loads(mask).sum() == 20
+        assert dist.max_load(mask) <= dist.max_load()
+
+    def test_alive_ids_accepted_as_indices(self, placed):
+        graph, cluster, dist = placed
+        ids = np.arange(5)
+        assert dist.edge_loads(ids).sum() == EDGE_WORDS * 5
+
+    def test_max_load_positive(self, placed):
+        _, _, dist = placed
+        assert dist.max_load() > 0

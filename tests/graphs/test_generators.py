@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    densified_graph,
+    edge_count_for_exponent,
+    gnm_graph,
+    grid_graph,
+    power_law_graph,
+    random_bipartite_graph,
+    random_weights,
+    with_random_weights,
+)
+
+
+class TestGnm:
+    def test_exact_edge_count(self, rng):
+        g = gnm_graph(50, 300, rng)
+        assert g.num_edges == 300
+        assert g.num_vertices == 50
+
+    def test_no_duplicates_or_self_loops(self, rng):
+        g = gnm_graph(40, 400, rng)
+        keys = g.edge_u * g.num_vertices + g.edge_v
+        assert len(np.unique(keys)) == g.num_edges
+        assert np.all(g.edge_u != g.edge_v)
+
+    def test_dense_regime(self, rng):
+        g = gnm_graph(20, 180, rng)  # 180 of 190 possible
+        assert g.num_edges == 180
+
+    def test_zero_edges(self, rng):
+        assert gnm_graph(10, 0, rng).num_edges == 0
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gnm_graph(5, 11, rng)
+
+    def test_weighted_variants(self, rng):
+        g = gnm_graph(30, 100, rng, weights="uniform", weight_range=(2.0, 3.0))
+        assert np.all(g.weights >= 2.0) and np.all(g.weights <= 3.0)
+
+    def test_deterministic_given_seed(self):
+        a = gnm_graph(30, 100, np.random.default_rng(5))
+        b = gnm_graph(30, 100, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.edge_u, b.edge_u)
+        np.testing.assert_array_equal(a.edge_v, b.edge_v)
+
+
+class TestDensified:
+    def test_edge_count_matches_exponent(self, rng):
+        n, c = 100, 0.4
+        g = densified_graph(n, c, rng)
+        assert g.num_edges == edge_count_for_exponent(n, c)
+        assert abs(g.densification_exponent() - c) < 0.05
+
+    def test_exponent_clamped_to_simple_graph(self, rng):
+        g = densified_graph(10, 2.0, rng)
+        assert g.num_edges == 45  # complete graph
+
+    def test_tiny_graph(self, rng):
+        assert densified_graph(1, 0.5, rng).num_edges == 0
+
+
+class TestPowerLaw:
+    def test_requested_edges(self, rng):
+        g = power_law_graph(80, 200, rng)
+        assert g.num_edges == 200
+
+    def test_skewed_degrees(self, rng):
+        g = power_law_graph(200, 600, rng, exponent=2.2)
+        degrees = np.sort(g.degrees())[::-1]
+        # The top vertex should have far more than the median degree.
+        assert degrees[0] >= 3 * max(1, np.median(degrees))
+
+    def test_simple_graph_invariants(self, rng):
+        g = power_law_graph(60, 150, rng)
+        keys = g.edge_u * g.num_vertices + g.edge_v
+        assert len(np.unique(keys)) == g.num_edges
+        assert np.all(g.edge_u != g.edge_v)
+
+    def test_empty(self, rng):
+        assert power_law_graph(5, 0, rng).num_edges == 0
+
+
+class TestBipartite:
+    def test_partition_respected(self, rng):
+        g = random_bipartite_graph(10, 15, 60, rng)
+        assert g.num_vertices == 25
+        assert np.all(g.edge_u < 10)
+        assert np.all(g.edge_v >= 10)
+
+    def test_exact_edge_count(self, rng):
+        assert random_bipartite_graph(6, 7, 30, rng).num_edges == 30
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_bipartite_graph(3, 3, 10, rng)
+
+
+class TestWeights:
+    def test_uniform_range(self, rng):
+        w = random_weights(1000, rng, distribution="uniform", weight_range=(1.0, 2.0))
+        assert np.all((w >= 1.0) & (w <= 2.0))
+
+    def test_exponential_positive(self, rng):
+        w = random_weights(1000, rng, distribution="exponential", weight_range=(1.0, 10.0))
+        assert np.all(w >= 1.0)
+
+    def test_integer_weights(self, rng):
+        w = random_weights(500, rng, distribution="integer", weight_range=(1, 5))
+        assert np.all(w == np.round(w))
+        assert w.min() >= 1 and w.max() <= 5
+
+    def test_invalid_distribution(self, rng):
+        with pytest.raises(ValueError):
+            random_weights(10, rng, distribution="bogus")
+
+    def test_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            random_weights(10, rng, weight_range=(0.0, 1.0))
+
+    def test_with_random_weights_preserves_structure(self, rng, small_cycle):
+        g = with_random_weights(small_cycle, rng)
+        assert g.num_edges == small_cycle.num_edges
+        np.testing.assert_array_equal(g.edge_u, small_cycle.edge_u)
+        assert not np.allclose(g.weights, 1.0)
+
+
+class TestGrid:
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestEdgeCountForExponent:
+    def test_small_cases(self):
+        assert edge_count_for_exponent(1, 0.5) == 0
+        assert edge_count_for_exponent(2, 5.0) == 1
+
+    def test_monotone_in_c(self):
+        assert edge_count_for_exponent(100, 0.2) < edge_count_for_exponent(100, 0.4)

@@ -1,0 +1,132 @@
+"""Unit tests for Algorithm 3 (hungry-greedy (1+ε)·H_∆ set cover)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import harmonic
+from repro.baselines import exact_set_cover_small, greedy_set_cover, lp_set_cover_bound
+from repro.core.hungry_greedy import hungry_greedy_set_cover, preprocess_weights
+from repro.setcover import (
+    SetCoverInstance,
+    disjoint_groups_instance,
+    is_cover,
+    planted_partition_instance,
+    random_coverage_instance,
+)
+
+
+class TestCorrectness:
+    def test_feasible_cover(self, coverage_instance, rng):
+        result = hungry_greedy_set_cover(coverage_instance, 0.4, rng, epsilon=0.2)
+        assert is_cover(coverage_instance, result.chosen_sets)
+        assert result.weight == pytest.approx(
+            coverage_instance.cover_weight(result.chosen_sets)
+        )
+
+    def test_guarantee_vs_exact_small(self, rng):
+        epsilon = 0.2
+        for seed in range(3):
+            local_rng = np.random.default_rng(seed)
+            inst = random_coverage_instance(12, 18, local_rng, density=0.2)
+            _, optimum = exact_set_cover_small(inst)
+            result = hungry_greedy_set_cover(inst, 0.4, local_rng, epsilon=epsilon)
+            guarantee = (1.0 + epsilon) * harmonic(inst.max_set_size)
+            assert is_cover(inst, result.chosen_sets)
+            assert result.weight <= guarantee * optimum + 1e-9
+
+    def test_guarantee_vs_lp_bound_larger(self, rng):
+        epsilon = 0.25
+        inst = random_coverage_instance(150, 60, rng, density=0.06)
+        result = hungry_greedy_set_cover(inst, 0.4, rng, epsilon=epsilon)
+        lp = lp_set_cover_bound(inst)
+        guarantee = (1.0 + epsilon) * harmonic(inst.max_set_size)
+        assert result.weight <= guarantee * lp + 1e-6
+
+    def test_planted_instance_close_to_optimum(self, planted_instance, rng):
+        result = hungry_greedy_set_cover(planted_instance, 0.4, rng, epsilon=0.1)
+        optimum = 10.0  # the planted sets
+        assert is_cover(planted_instance, result.chosen_sets)
+        assert result.weight <= (1.1) * harmonic(6) * optimum + 1e-9
+
+    def test_disjoint_groups_must_take_everything(self, rng):
+        inst = disjoint_groups_instance(6, 3)
+        result = hungry_greedy_set_cover(inst, 0.5, rng, epsilon=0.3)
+        assert sorted(result.chosen_sets) == list(range(6))
+
+    def test_single_set_instance(self, rng):
+        inst = SetCoverInstance([[0, 1, 2, 3]], [2.0])
+        result = hungry_greedy_set_cover(inst, 0.5, rng, epsilon=0.2)
+        assert result.chosen_sets == [0]
+
+    def test_comparable_to_chvatal_greedy(self, coverage_instance, rng):
+        """The ε-greedy result should be within (1+ε)·H_∆ of plain greedy's
+        weight (a much weaker statement than the true guarantee but a useful
+        smoke check with no LP involved)."""
+        epsilon = 0.2
+        result = hungry_greedy_set_cover(coverage_instance, 0.4, rng, epsilon=epsilon)
+        greedy = greedy_set_cover(coverage_instance)
+        guarantee = (1.0 + epsilon) * harmonic(coverage_instance.max_set_size)
+        assert result.weight <= guarantee * greedy.weight + 1e-9
+
+
+class TestBehaviour:
+    def test_iteration_trace_has_potential(self, coverage_instance, rng):
+        result = hungry_greedy_set_cover(coverage_instance, 0.4, rng, epsilon=0.2)
+        assert result.num_iterations >= 1
+        assert all(stats.alive > 0 for stats in result.iterations)
+        assert all(stats.phase.startswith("L=") for stats in result.iterations)
+
+    def test_epsilon_trades_quality_for_rounds(self, rng):
+        inst = random_coverage_instance(200, 60, np.random.default_rng(8), density=0.08)
+        tight = hungry_greedy_set_cover(inst, 0.4, np.random.default_rng(1), epsilon=0.05)
+        loose = hungry_greedy_set_cover(inst, 0.4, np.random.default_rng(1), epsilon=1.0)
+        assert is_cover(inst, tight.chosen_sets) and is_cover(inst, loose.chosen_sets)
+        # Smaller ε cannot be (much) worse in weight.
+        assert tight.weight <= loose.weight * 1.5 + 1e-9
+
+    def test_invalid_parameters(self, coverage_instance, rng):
+        with pytest.raises(ValueError):
+            hungry_greedy_set_cover(coverage_instance, 0.0, rng)
+        with pytest.raises(ValueError):
+            hungry_greedy_set_cover(coverage_instance, 0.4, rng, epsilon=0.0)
+
+    def test_empty_ground_set(self, rng):
+        inst = SetCoverInstance([], num_elements=0)
+        result = hungry_greedy_set_cover(inst, 0.4, rng)
+        assert result.chosen_sets == []
+        assert result.weight == 0.0
+
+    def test_determinism(self, coverage_instance):
+        a = hungry_greedy_set_cover(coverage_instance, 0.4, np.random.default_rng(3), epsilon=0.2)
+        b = hungry_greedy_set_cover(coverage_instance, 0.4, np.random.default_rng(3), epsilon=0.2)
+        assert a.chosen_sets == b.chosen_sets
+
+
+class TestPreprocessing:
+    def test_preprocess_bounds_weight_ratio(self, rng):
+        inst = SetCoverInstance(
+            [[0, 1], [1, 2], [2, 3], [0, 3], [0, 1, 2, 3]],
+            [1e-6, 1.0, 2.0, 3.0, 1e7],
+            num_elements=4,
+        )
+        usable, forced, gamma = preprocess_weights(inst, 0.2)
+        assert gamma > 0
+        # The absurdly expensive set is unusable, the almost-free one is forced.
+        assert not usable[4]
+        assert 0 in forced
+
+    def test_preprocess_on_uniform_weights_keeps_everything(self, coverage_instance):
+        usable, forced, _ = preprocess_weights(coverage_instance, 0.2)
+        assert usable.all()
+        assert forced == []
+
+    def test_algorithm_with_preprocessing_still_feasible(self, rng):
+        inst = SetCoverInstance(
+            [[0, 1], [1, 2], [2, 3], [0, 3], [0, 1, 2, 3]],
+            [1e-6, 1.0, 2.0, 3.0, 1e7],
+            num_elements=4,
+        )
+        result = hungry_greedy_set_cover(inst, 0.5, rng, epsilon=0.2, preprocess=True)
+        assert is_cover(inst, result.chosen_sets)

@@ -1,0 +1,102 @@
+"""Unit tests for the hungry-greedy maximal clique algorithm (Appendix B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hungry_greedy import (
+    hungry_greedy_maximal_clique,
+    sequential_greedy_maximal_clique,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    densified_graph,
+    gnm_graph,
+    is_clique,
+    is_maximal_clique,
+    path_graph,
+    star_graph,
+)
+
+
+class TestSequentialGreedyClique:
+    def test_complete_graph_whole_vertex_set(self):
+        g = complete_graph(6)
+        clique = sequential_greedy_maximal_clique(g)
+        assert sorted(clique) == list(range(6))
+
+    def test_triangle_free_graph_returns_edge_or_vertex(self):
+        g = cycle_graph(5)
+        clique = sequential_greedy_maximal_clique(g)
+        assert is_maximal_clique(g, clique)
+        assert len(clique) == 2
+
+    def test_respects_order(self):
+        g = path_graph(4)
+        clique = sequential_greedy_maximal_clique(g, order=np.array([2, 3, 0, 1]))
+        assert sorted(clique) == [2, 3]
+
+    def test_maximality_on_random_graphs(self, rng):
+        for _ in range(5):
+            g = gnm_graph(25, 120, rng)
+            clique = sequential_greedy_maximal_clique(g)
+            assert is_maximal_clique(g, clique)
+
+
+class TestHungryGreedyClique:
+    def test_maximal_on_random_graphs(self):
+        for seed in range(4):
+            g = densified_graph(60, 0.5, np.random.default_rng(seed))
+            result = hungry_greedy_maximal_clique(g, 0.35, np.random.default_rng(seed + 50))
+            assert is_maximal_clique(g, result.vertices)
+
+    def test_complete_graph(self, rng):
+        g = complete_graph(10)
+        result = hungry_greedy_maximal_clique(g, 0.4, rng)
+        assert sorted(result.vertices) == list(range(10))
+
+    def test_star_graph_cliques_are_edges(self, rng):
+        g = star_graph(8)
+        result = hungry_greedy_maximal_clique(g, 0.4, rng)
+        assert is_maximal_clique(g, result.vertices)
+        assert result.size == 2
+
+    def test_empty_and_edgeless_graphs(self, rng):
+        assert hungry_greedy_maximal_clique(Graph(0, []), 0.3, rng).vertices == []
+        result = hungry_greedy_maximal_clique(Graph(4, []), 0.3, rng)
+        assert result.size == 1  # a single vertex is the maximal clique
+
+    def test_planted_clique_is_found_or_dominated(self, rng):
+        """Plant a clique of size 8 in a sparse graph; the result must be a
+        maximal clique (not necessarily the planted one) and at least an edge."""
+        n = 40
+        planted = list(range(8))
+        edges = {(u, v) for i, u in enumerate(planted) for v in planted[i + 1 :]}
+        extra = gnm_graph(n, 80, rng)
+        for u, v, _ in extra.edges():
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        g = Graph(n, np.array(sorted(edges)))
+        result = hungry_greedy_maximal_clique(g, 0.4, rng)
+        assert is_maximal_clique(g, result.vertices)
+        assert result.size >= 2
+
+    def test_trace_and_determinism(self):
+        g = densified_graph(50, 0.5, np.random.default_rng(9))
+        a = hungry_greedy_maximal_clique(g, 0.3, np.random.default_rng(11))
+        b = hungry_greedy_maximal_clique(g, 0.3, np.random.default_rng(11))
+        assert a.vertices == b.vertices
+        assert a.iterations[-1].phase in ("final",) or a.iterations[-1].phase.startswith("phase")
+
+    def test_invalid_mu(self, rng, small_cycle):
+        with pytest.raises(ValueError):
+            hungry_greedy_maximal_clique(small_cycle, -0.1, rng)
+
+    def test_clique_is_always_clique_even_midway(self, rng):
+        """The returned vertex set must form a clique (not just any set)."""
+        g = densified_graph(45, 0.5, rng)
+        result = hungry_greedy_maximal_clique(g, 0.3, rng)
+        assert is_clique(g, result.vertices)

@@ -1,0 +1,172 @@
+"""Unit tests for the hungry-greedy MIS algorithms (Algorithms 2 and 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hungry_greedy import (
+    MISState,
+    hungry_greedy_mis,
+    hungry_greedy_mis_improved,
+    sequential_greedy_mis,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    densified_graph,
+    gnm_graph,
+    is_independent_set,
+    is_maximal_independent_set,
+    path_graph,
+    star_graph,
+)
+
+
+class TestMISState:
+    def test_initial_degrees_match_graph(self, small_cycle):
+        state = MISState(small_cycle)
+        np.testing.assert_array_equal(state.degrees, small_cycle.degrees())
+
+    def test_add_blocks_neighbourhood(self, small_star):
+        state = MISState(small_star)
+        state.add(0)
+        assert state.blocked.all()
+        assert state.independent_set() == [0]
+        assert np.all(state.degrees == 0)
+
+    def test_add_updates_residual_degrees(self):
+        g = path_graph(5)  # 0-1-2-3-4
+        state = MISState(g)
+        state.add(0)  # blocks 0,1; vertex 2 loses neighbour 1
+        assert state.residual_degree(2) == 1
+        assert state.residual_degree(3) == 2
+        assert state.blocked[1] and not state.blocked[2]
+
+    def test_add_blocked_vertex_rejected(self, small_star):
+        state = MISState(small_star)
+        state.add(0)
+        with pytest.raises(ValueError):
+            state.add(1)
+
+    def test_incremental_degrees_match_recomputation(self, rng):
+        g = gnm_graph(40, 150, rng)
+        state = MISState(g)
+        order = rng.permutation(40)
+        for v in order[:15]:
+            if not state.blocked[v]:
+                state.add(int(v))
+        # recompute from scratch
+        expected = np.zeros(40, dtype=np.int64)
+        unblocked_edge = ~state.blocked[g.edge_u] & ~state.blocked[g.edge_v]
+        np.add.at(expected, g.edge_u[unblocked_edge], 1)
+        np.add.at(expected, g.edge_v[unblocked_edge], 1)
+        expected[state.blocked] = 0
+        np.testing.assert_array_equal(state.degrees, expected)
+
+    def test_alive_edge_count_and_neighbours(self):
+        g = cycle_graph(6)
+        state = MISState(g)
+        assert state.alive_edge_count() == 6
+        state.add(0)
+        assert state.alive_edge_count() == 2  # edges (2,3) and (3,4)
+        assert set(state.alive_neighbours(3).tolist()) == {2, 4}
+
+    def test_heavy_vertices(self, small_star):
+        state = MISState(small_star)
+        assert state.heavy_vertices(5).tolist() == [0]
+        assert len(state.heavy_vertices(1)) == 8
+
+
+class TestSequentialGreedyMIS:
+    def test_maximal_on_various_graphs(self, small_cycle, small_star, small_complete):
+        for g in (small_cycle, small_star, small_complete):
+            mis = sequential_greedy_mis(g)
+            assert is_maximal_independent_set(g, mis)
+
+    def test_respects_blocked(self, small_star):
+        blocked = np.zeros(8, dtype=bool)
+        blocked[0] = True
+        mis = sequential_greedy_mis(small_star, blocked=blocked)
+        assert 0 not in mis
+        assert sorted(mis) == list(range(1, 8))
+
+    def test_candidate_restriction(self, small_cycle):
+        mis = sequential_greedy_mis(small_cycle, candidates=np.array([1, 3]))
+        assert sorted(mis) == [1, 3]
+
+
+@pytest.mark.parametrize(
+    "algorithm", [hungry_greedy_mis, hungry_greedy_mis_improved], ids=["simple", "improved"]
+)
+class TestHungryGreedyMIS:
+    def test_maximal_independent_on_random_graphs(self, algorithm, rng):
+        for seed in range(3):
+            g = densified_graph(70, 0.4, np.random.default_rng(seed))
+            result = algorithm(g, 0.3, np.random.default_rng(seed + 100))
+            assert is_maximal_independent_set(g, result.vertices)
+
+    def test_structured_graphs(self, algorithm, rng):
+        for g in (cycle_graph(9), star_graph(10), complete_graph(7), path_graph(8)):
+            result = algorithm(g, 0.4, rng)
+            assert is_maximal_independent_set(g, result.vertices)
+
+    def test_complete_graph_single_vertex(self, algorithm, rng):
+        result = algorithm(complete_graph(12), 0.3, rng)
+        assert result.size == 1
+
+    def test_graph_with_isolated_vertices(self, algorithm, rng):
+        g = Graph(6, [(0, 1), (1, 2)])
+        result = algorithm(g, 0.4, rng)
+        assert is_maximal_independent_set(g, result.vertices)
+        assert {3, 4, 5} <= set(result.vertices)
+
+    def test_empty_graph(self, algorithm, rng):
+        result = algorithm(Graph(0, []), 0.3, rng)
+        assert result.vertices == []
+
+    def test_trace_is_recorded(self, algorithm, rng):
+        g = densified_graph(60, 0.4, rng)
+        result = algorithm(g, 0.3, rng)
+        assert result.num_iterations >= 1
+        assert all(stats.sample_words >= stats.sampled for stats in result.iterations)
+
+    def test_invalid_mu(self, algorithm, rng, small_cycle):
+        with pytest.raises(ValueError):
+            algorithm(small_cycle, 0.0, rng)
+
+    def test_determinism(self, algorithm):
+        g = densified_graph(50, 0.4, np.random.default_rng(5))
+        a = algorithm(g, 0.3, np.random.default_rng(17))
+        b = algorithm(g, 0.3, np.random.default_rng(17))
+        assert a.vertices == b.vertices
+
+
+class TestImprovedMISRoundBehaviour:
+    def test_alive_edges_decrease_geometrically_on_average(self):
+        """Lemma A.2: |E_{k+1}| shrinks by a constant factor per iteration
+        (up to the final single-machine step)."""
+        rng = np.random.default_rng(2)
+        g = densified_graph(150, 0.45, rng)
+        result = hungry_greedy_mis_improved(g, 0.4, rng)
+        alive = [s.alive for s in result.iterations if s.phase.startswith("iteration")]
+        for before, after in zip(alive, alive[1:]):
+            assert after < before
+
+    def test_iteration_count_within_theorem_shape(self):
+        """Theorem A.3: O(c/µ) iterations before the final cleanup."""
+        n, c, mu = 120, 0.5, 0.4
+        rng = np.random.default_rng(3)
+        g = densified_graph(n, c, rng)
+        result = hungry_greedy_mis_improved(g, mu, rng)
+        main_iterations = sum(1 for s in result.iterations if s.phase.startswith("iteration"))
+        assert main_iterations <= 6 * c / mu + 3
+
+    def test_larger_mu_means_fewer_or_equal_iterations(self):
+        g = densified_graph(120, 0.5, np.random.default_rng(4))
+        small = hungry_greedy_mis_improved(g, 0.2, np.random.default_rng(1))
+        large = hungry_greedy_mis_improved(g, 0.6, np.random.default_rng(1))
+        small_main = sum(1 for s in small.iterations if s.phase.startswith("iteration"))
+        large_main = sum(1 for s in large.iterations if s.phase.startswith("iteration"))
+        assert large_main <= small_main + 1

@@ -1,0 +1,126 @@
+"""End-to-end integration tests across substrates, algorithms and drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import matching_bound, vertex_cover_bound, within_guarantee
+from repro.baselines import exact_matching, greedy_matching, lp_vertex_cover_bound
+from repro.core.local_ratio import local_ratio_matching, randomized_local_ratio_matching
+from repro.graphs import densified_graph, is_matching, is_vertex_cover
+from repro.setcover import random_frequency_bounded_instance
+
+
+class TestSequentialVsRandomizedConsistency:
+    """The randomized algorithms instantiate the sequential ones with a sampled
+    order, so both must satisfy the same guarantees on the same inputs."""
+
+    def test_matching_both_layers_meet_guarantee(self, rng):
+        g = densified_graph(60, 0.45, rng, weights="uniform")
+        exact = exact_matching(g)
+        sequential = local_ratio_matching(g, rng=rng)
+        randomized = randomized_local_ratio_matching(g, eta=80, rng=rng)
+        for result in (sequential, randomized):
+            assert is_matching(g, result.edge_ids)
+            assert result.weight >= exact.weight / 2.0 - 1e-9
+
+    def test_set_cover_sequential_vs_mpc_weights_comparable(self, rng):
+        inst = random_frequency_bounded_instance(40, 500, 3, rng)
+        sequential = repro.local_ratio_set_cover(inst, rng=rng)
+        mpc_result, _ = repro.mpc_weighted_set_cover(inst, 0.3, rng)
+        assert inst.is_cover(sequential.chosen_sets)
+        assert inst.is_cover(mpc_result.chosen_sets)
+        # Both are f-approximations; they should be within f of each other.
+        f = inst.frequency
+        assert mpc_result.weight <= f * sequential.weight + 1e-9
+        assert sequential.weight <= f * mpc_result.weight + 1e-9
+
+
+class TestFullPipelineVertexCover:
+    def test_pipeline_with_bounds_and_lp(self, rng):
+        n, c, mu = 100, 0.45, 0.25
+        g = densified_graph(n, c, rng)
+        weights = rng.uniform(1.0, 10.0, size=n)
+        result, metrics = repro.mpc_weighted_vertex_cover(g, weights, mu, rng)
+        assert is_vertex_cover(g, result.chosen_sets)
+
+        lp = lp_vertex_cover_bound(g, weights)
+        bound = vertex_cover_bound(n, g.num_edges, mu)
+        cover_weight = float(weights[np.asarray(result.chosen_sets, dtype=np.int64)].sum())
+        assert within_guarantee(cover_weight / lp, bound.approximation)
+        assert metrics.max_space_per_machine <= 16 * bound.space_per_machine
+        # 4 MapReduce rounds per sampling iteration; iterations ≤ O(c/µ).
+        assert metrics.num_rounds <= 4 * (4 * bound.rounds + 3)
+
+
+class TestFullPipelineMatching:
+    def test_pipeline_with_bounds(self, rng):
+        n, c, mu = 110, 0.45, 0.3
+        g = densified_graph(n, c, rng, weights="uniform")
+        result, metrics = repro.mpc_weighted_matching(g, mu, rng)
+        exact = exact_matching(g)
+        greedy = greedy_matching(g)
+        bound = matching_bound(n, g.num_edges, mu)
+        assert is_matching(g, result.edge_ids)
+        assert within_guarantee(exact.weight / result.weight, bound.approximation)
+        # The local ratio algorithm should be competitive with greedy.
+        assert result.weight >= 0.5 * greedy.weight
+        assert metrics.max_space_per_machine <= 16 * 3 * bound.space_per_machine
+
+
+class TestCrossProblemConsistency:
+    def test_vertex_cover_and_matching_duality(self, rng):
+        """Weak LP duality: any matching's weight is a lower bound on any
+        fractional vertex cover when vertex weights are 1 and edge weights 1."""
+        g = densified_graph(80, 0.4, rng)
+        matching, _ = repro.mpc_weighted_matching(g, 0.25, rng)
+        cover, _ = repro.mpc_weighted_vertex_cover(g, np.ones(80), 0.25, rng)
+        assert len(matching.edge_ids) <= len(cover.chosen_sets)
+
+    def test_mis_and_clique_on_same_graph(self, rng):
+        g = densified_graph(60, 0.5, rng)
+        mis, _ = repro.mpc_maximal_independent_set(g, 0.3, rng)
+        clique, _ = repro.mpc_maximal_clique(g, 0.3, rng)
+        # An independent set and a clique can share at most one vertex.
+        assert len(set(mis.vertices) & set(clique.vertices)) <= 1
+
+    def test_colourings_relate_to_structures(self, rng):
+        g = densified_graph(80, 0.4, rng)
+        vc, _ = repro.mpc_vertex_colouring(g, 0.2, rng)
+        mis, _ = repro.mpc_maximal_independent_set(g, 0.3, rng)
+        # Any colour class is an independent set, so the largest class is no
+        # bigger than the maximum independent set; the MIS is maximal, not
+        # maximum, so only a weak sanity relation holds: the number of colours
+        # must be at least n / (size of the largest independent set possible)
+        # which we approximate by the MIS size for this smoke check.
+        class_sizes: dict[object, int] = {}
+        for colour in vc.colours.values():
+            class_sizes[colour] = class_sizes.get(colour, 0) + 1
+        assert vc.num_colours >= g.num_vertices / max(1, g.num_vertices - len(mis.vertices) + 1)
+
+    def test_edge_colouring_classes_are_matchings(self, rng):
+        g = densified_graph(70, 0.4, rng)
+        result, _ = repro.mpc_edge_colouring(g, 0.2, rng)
+        by_colour: dict[object, list[int]] = {}
+        for edge, colour in result.colours.items():
+            by_colour.setdefault(colour, []).append(edge)
+        for edges in by_colour.values():
+            assert is_matching(g, edges)
+
+
+class TestSeedReproducibility:
+    def test_full_figure1_experiment_is_reproducible(self):
+        from repro.experiments import vertex_cover_experiment
+
+        a = vertex_cover_experiment(np.random.default_rng(42), n=70, c=0.4, mu=0.25)
+        b = vertex_cover_experiment(np.random.default_rng(42), n=70, c=0.4, mu=0.25)
+        assert a.metrics == b.metrics
+
+    def test_different_seeds_generally_differ(self):
+        from repro.experiments import matching_experiment
+
+        a = matching_experiment(np.random.default_rng(1), n=60, c=0.4, mu=0.25)
+        b = matching_experiment(np.random.default_rng(2), n=60, c=0.4, mu=0.25)
+        assert a.metrics["weight"] != pytest.approx(b.metrics["weight"], rel=1e-12)

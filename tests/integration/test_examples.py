@@ -1,0 +1,67 @@
+"""Smoke tests that the shipped example scripts actually run.
+
+Each example is executed in-process (``runpy``) with a fixed seed and a
+small problem size where the script accepts one; the assertions inside the
+scripts themselves (certificate checks) make these meaningful end-to-end
+tests of the public API, not just import checks.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, argv: list[str]) -> None:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example script {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        _run_example("quickstart.py", ["0"])
+        out = capsys.readouterr().out
+        assert "All solutions passed" in out
+        assert "weighted matching" in out
+
+    def test_social_network_matching_runs(self, capsys):
+        _run_example("social_network_matching.py", ["1"])
+        out = capsys.readouterr().out
+        assert "ratio vs optimum" in out
+        assert "capacity b=3" in out
+
+    def test_coverage_planning_runs(self, capsys):
+        _run_example("coverage_planning_set_cover.py", ["2"])
+        out = capsys.readouterr().out
+        assert "Regime 1" in out and "Regime 2" in out
+
+    def test_cluster_scheduling_runs(self, capsys):
+        _run_example("cluster_scheduling_colouring.py", ["3"])
+        out = capsys.readouterr().out
+        assert "time slots" in out
+        assert "conflict-free batches" in out
+
+    @pytest.mark.slow
+    def test_reproduce_figure1_subset_runs(self, capsys, monkeypatch):
+        """Run the Figure-1 script end to end with a single trial.
+
+        Marked slow; it exercises all ten experiments (≈10–20 s).
+        """
+        monkeypatch.setattr(
+            sys, "argv", [str(EXAMPLES_DIR / "reproduce_figure1.py"), "7", "--trials", "1"]
+        )
+        runpy.run_path(str(EXAMPLES_DIR / "reproduce_figure1.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "fig1-vertex-cover" in out
+        assert "fig1-edge-colouring" in out

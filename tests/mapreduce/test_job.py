@@ -1,0 +1,121 @@
+"""Unit tests for the generic key-value MapReduce job API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, cycle_graph, gnm_graph, path_graph, star_graph
+from repro.mapreduce import (
+    Cluster,
+    MemoryExceededError,
+    MPCContext,
+    degree_count_job,
+    run_mapreduce_pipeline,
+    run_mapreduce_round,
+    triangle_count_job,
+)
+
+
+def _ctx(machines: int = 4, memory: int | None = 100_000) -> MPCContext:
+    return MPCContext(Cluster(machines, memory), algorithm="job-test")
+
+
+class TestWordCountStyleJobs:
+    def test_word_count(self):
+        ctx = _ctx()
+        records = [(i, word) for i, word in enumerate("a b a c b a".split())]
+
+        def mapper(_key, word):
+            yield word, 1
+
+        def reducer(word, ones):
+            yield word, sum(ones)
+
+        output = dict(run_mapreduce_round(ctx, records, mapper, reducer))
+        assert output == {"a": 3, "b": 2, "c": 1}
+        assert ctx.metrics.num_rounds == 1
+
+    def test_empty_input(self):
+        ctx = _ctx()
+        output = run_mapreduce_round(ctx, [], lambda k, v: [(k, v)], lambda k, vs: [(k, vs)])
+        assert output == []
+        assert ctx.metrics.num_rounds == 1
+
+    def test_mapper_emitting_nothing(self):
+        ctx = _ctx()
+        output = run_mapreduce_round(
+            ctx, [(1, "x"), (2, "y")], lambda k, v: [], lambda k, vs: [(k, vs)]
+        )
+        assert output == []
+
+    def test_round_records_communication(self):
+        ctx = _ctx()
+        run_mapreduce_round(
+            ctx,
+            [(i, i) for i in range(10)],
+            lambda k, v: [(v % 2, v)],
+            lambda k, vs: [(k, sum(vs))],
+        )
+        record = ctx.metrics.rounds[0]
+        assert record.words_communicated > 0
+        assert record.messages == 2  # two distinct keys
+
+    def test_memory_budget_enforced_on_shuffle(self):
+        """All values hash to a single key, so one machine must hold them all."""
+        ctx = MPCContext(Cluster(4, 20), algorithm="overflow")
+        records = [(i, i) for i in range(200)]
+        with pytest.raises(MemoryExceededError):
+            run_mapreduce_round(
+                ctx, records, lambda k, v: [("hot", v)], lambda k, vs: [(k, len(vs))]
+            )
+
+    def test_pipeline_chains_rounds(self):
+        ctx = _ctx()
+        records = [(i, i) for i in range(20)]
+        stages = [
+            # Stage 1: bucket integers by parity and sum each bucket.
+            (lambda k, v: [(v % 2, v)], lambda k, vs: [(k, sum(vs))]),
+            # Stage 2: route both bucket sums to one key and add them up.
+            (lambda k, v: [("total", v)], lambda k, vs: [(k, sum(vs))]),
+        ]
+        output = run_mapreduce_pipeline(ctx, records, stages, description="sum")
+        assert output == [("total", sum(range(20)))]
+        assert ctx.metrics.num_rounds == 2
+
+
+class TestGraphJobs:
+    def test_degree_count_matches_graph(self, rng):
+        g = gnm_graph(30, 120, rng)
+        ctx = _ctx()
+        degrees = degree_count_job(ctx, g)
+        expected = g.degrees()
+        for v in range(30):
+            assert degrees.get(v, 0) == expected[v]
+        assert ctx.metrics.num_rounds == 1
+
+    def test_degree_count_star(self):
+        ctx = _ctx()
+        degrees = degree_count_job(ctx, star_graph(6))
+        assert degrees[0] == 6
+        assert all(degrees[v] == 1 for v in range(1, 7))
+
+    def test_triangle_count_known_graphs(self):
+        assert triangle_count_job(_ctx(), complete_graph(4)) == 4
+        assert triangle_count_job(_ctx(), complete_graph(5)) == 10
+        assert triangle_count_job(_ctx(), cycle_graph(5)) == 0
+        assert triangle_count_job(_ctx(), path_graph(6)) == 0
+        assert triangle_count_job(_ctx(), star_graph(5)) == 0
+
+    def test_triangle_count_random_graph_matches_networkx(self, rng):
+        import networkx as nx
+
+        g = gnm_graph(18, 60, rng)
+        ours = triangle_count_job(_ctx(), g)
+        reference = sum(nx.triangles(g.to_networkx()).values()) // 3
+        assert ours == reference
+
+    def test_triangle_job_uses_two_rounds(self, rng):
+        ctx = _ctx()
+        triangle_count_job(ctx, gnm_graph(12, 30, rng))
+        assert ctx.metrics.num_rounds == 2

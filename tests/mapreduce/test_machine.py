@@ -1,0 +1,145 @@
+"""Unit tests for the word-accounted machine model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import Machine, MemoryExceededError, words_of
+
+
+class TestWordsOf:
+    def test_none_costs_nothing(self):
+        assert words_of(None) == 0
+
+    def test_scalars_cost_one_word(self):
+        assert words_of(7) == 1
+        assert words_of(3.14) == 1
+        assert words_of(True) == 1
+        assert words_of("token") == 1
+        assert words_of(np.int64(5)) == 1
+        assert words_of(np.float64(5.0)) == 1
+
+    def test_numpy_array_costs_its_size(self):
+        assert words_of(np.zeros(17)) == 17
+        assert words_of(np.zeros((3, 4))) == 12
+
+    def test_list_and_tuple_cost_sum_of_items(self):
+        assert words_of([1, 2, 3]) == 3
+        assert words_of((1.0, "a")) == 2
+        assert words_of([np.zeros(5), 1]) == 6
+
+    def test_dict_costs_keys_plus_values(self):
+        assert words_of({1: 2, 3: np.zeros(4)}) == 1 + 1 + 1 + 4
+
+    def test_nested_structures(self):
+        assert words_of([[1, 2], [3, 4, 5]]) == 5
+
+    def test_object_with_word_count_hook(self):
+        class Payload:
+            def word_count(self):
+                return 42
+
+        assert words_of(Payload()) == 42
+
+    def test_unknown_object_costs_one(self):
+        assert words_of(object()) == 1
+
+
+class TestMachine:
+    def test_put_and_get(self):
+        machine = Machine(0, memory_limit=100)
+        machine.put("key", [1, 2, 3])
+        assert machine.get("key") == [1, 2, 3]
+        assert machine.words_used == 3
+
+    def test_get_missing_returns_default(self):
+        machine = Machine(0, memory_limit=10)
+        assert machine.get("missing") is None
+        assert machine.get("missing", default=7) == 7
+
+    def test_put_overwrite_refunds_old_cost(self):
+        machine = Machine(0, memory_limit=10)
+        machine.put("k", np.zeros(8))
+        machine.put("k", np.zeros(3))
+        assert machine.words_used == 3
+
+    def test_memory_limit_enforced(self):
+        machine = Machine(0, memory_limit=5)
+        with pytest.raises(MemoryExceededError):
+            machine.put("big", np.zeros(6))
+
+    def test_memory_limit_counts_across_keys(self):
+        machine = Machine(0, memory_limit=5)
+        machine.put("a", np.zeros(3))
+        with pytest.raises(MemoryExceededError):
+            machine.put("b", np.zeros(3))
+
+    def test_unlimited_memory(self):
+        machine = Machine(0, memory_limit=None)
+        machine.put("big", np.zeros(10_000))
+        assert machine.words_used == 10_000
+
+    def test_explicit_word_cost_overrides_estimate(self):
+        machine = Machine(0, memory_limit=10)
+        machine.put("k", np.zeros(100), words=2)
+        assert machine.words_used == 2
+
+    def test_pop_refunds_words(self):
+        machine = Machine(0, memory_limit=10)
+        machine.put("k", np.zeros(4))
+        value = machine.pop("k")
+        assert value.shape == (4,)
+        assert machine.words_used == 0
+
+    def test_pop_missing_returns_default(self):
+        machine = Machine(0, memory_limit=10)
+        assert machine.pop("nope", default="x") == "x"
+
+    def test_delete_is_idempotent(self):
+        machine = Machine(0, memory_limit=10)
+        machine.put("k", 1)
+        machine.delete("k")
+        machine.delete("k")
+        assert "k" not in machine
+
+    def test_peak_words_tracks_maximum(self):
+        machine = Machine(0, memory_limit=100)
+        machine.put("a", np.zeros(60))
+        machine.pop("a")
+        machine.put("b", np.zeros(10))
+        assert machine.peak_words == 60
+        assert machine.words_used == 10
+
+    def test_charge_transient_words(self):
+        machine = Machine(0, memory_limit=10)
+        machine.put("a", np.zeros(4))
+        machine.charge(5)
+        assert machine.peak_words == 9
+        with pytest.raises(MemoryExceededError):
+            machine.charge(7)
+
+    def test_clear_resets_usage_but_not_peak(self):
+        machine = Machine(0, memory_limit=100)
+        machine.put("a", np.zeros(50))
+        machine.clear()
+        assert machine.words_used == 0
+        assert machine.peak_words == 50
+        machine.reset_peak()
+        assert machine.peak_words == 0
+
+    def test_error_carries_context(self):
+        machine = Machine("central", memory_limit=1)
+        with pytest.raises(MemoryExceededError) as excinfo:
+            machine.put("x", np.zeros(2))
+        assert excinfo.value.machine_id == "central"
+        assert excinfo.value.requested == 2
+        assert excinfo.value.limit == 1
+
+    def test_contains_len_and_keys(self):
+        machine = Machine(0, memory_limit=10)
+        machine.put("a", 1)
+        machine.put("b", 2)
+        assert "a" in machine and "b" in machine
+        assert len(machine) == 2
+        assert set(machine.keys()) == {"a", "b"}

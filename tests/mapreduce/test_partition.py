@@ -1,0 +1,97 @@
+"""Unit tests for partitioning strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    balanced_partition,
+    hash_partition,
+    num_machines_for,
+    partition_counts,
+    random_partition,
+)
+
+
+class TestNumMachinesFor:
+    def test_exact_division(self):
+        assert num_machines_for(100, 10) == 10
+
+    def test_rounds_up(self):
+        assert num_machines_for(101, 10) == 11
+
+    def test_at_least_one_machine(self):
+        assert num_machines_for(0, 10) == 1
+        assert num_machines_for(3, 10) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            num_machines_for(10, 0)
+
+
+class TestBalancedPartition:
+    def test_covers_all_items(self):
+        assign = balanced_partition(100, 7)
+        assert assign.shape == (100,)
+        assert assign.min() == 0 and assign.max() == 6
+
+    def test_block_sizes_differ_by_at_most_one(self):
+        assign = balanced_partition(100, 7)
+        counts = partition_counts(assign, 7)
+        assert counts.max() - counts.min() <= 1
+        assert counts.sum() == 100
+
+    def test_fewer_items_than_machines(self):
+        assign = balanced_partition(3, 10)
+        counts = partition_counts(assign, 10)
+        assert counts.sum() == 3
+        assert counts.max() <= 1
+
+    def test_zero_items(self):
+        assert balanced_partition(0, 4).size == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            balanced_partition(10, 0)
+        with pytest.raises(ValueError):
+            balanced_partition(-1, 3)
+
+
+class TestRandomPartition:
+    def test_range_and_shape(self, rng):
+        assign = random_partition(500, 8, rng)
+        assert assign.shape == (500,)
+        assert assign.min() >= 0 and assign.max() < 8
+
+    def test_roughly_balanced(self, rng):
+        assign = random_partition(20_000, 4, rng)
+        counts = partition_counts(assign, 4)
+        assert counts.min() > 4000  # expectation 5000 each
+
+    def test_deterministic_given_seed(self):
+        a = random_partition(100, 5, np.random.default_rng(7))
+        b = random_partition(100, 5, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_machine_count(self, rng):
+        with pytest.raises(ValueError):
+            random_partition(10, 0, rng)
+
+
+class TestHashPartition:
+    def test_deterministic(self):
+        keys = np.arange(1000)
+        np.testing.assert_array_equal(hash_partition(keys, 7), hash_partition(keys, 7))
+
+    def test_range(self):
+        assign = hash_partition(np.arange(1000), 9)
+        assert assign.min() >= 0 and assign.max() < 9
+
+    def test_spreads_consecutive_keys(self):
+        counts = partition_counts(hash_partition(np.arange(9000), 9), 9)
+        assert counts.min() > 0
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(ValueError):
+            hash_partition([1, 2, 3], 0)

@@ -1,0 +1,159 @@
+"""Property-based tests for the paper's algorithms.
+
+Every property here is an *invariant promised by a theorem*: feasibility of
+the produced solution, the approximation guarantee against a brute-force
+optimum on small instances, and maximality for MIS/clique.  Hypothesis
+explores adversarial small graphs and instances that random benchmarks would
+rarely hit (stars inside cliques, isolated vertices, duplicate weights, …).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import exact_matching, misra_gries_edge_colouring
+from repro.core.colouring import mapreduce_edge_colouring, mapreduce_vertex_colouring
+from repro.core.hungry_greedy import (
+    hungry_greedy_maximal_clique,
+    hungry_greedy_mis,
+    hungry_greedy_mis_improved,
+    hungry_greedy_set_cover,
+)
+from repro.core.local_ratio import (
+    local_ratio_matching,
+    local_ratio_set_cover,
+    randomized_local_ratio_matching,
+    randomized_local_ratio_set_cover,
+)
+from repro.graphs import (
+    Graph,
+    is_matching,
+    is_maximal_clique,
+    is_maximal_independent_set,
+    is_proper_edge_colouring,
+    is_proper_vertex_colouring,
+)
+from repro.setcover import SetCoverInstance
+
+_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def weighted_graphs(draw, min_vertices: int = 2, max_vertices: int = 10):
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, min_size=1, max_size=len(possible)))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    return Graph(n, np.asarray(edges).reshape(-1, 2), weights)
+
+
+@st.composite
+def feasible_instances(draw, max_sets: int = 7, max_elements: int = 9):
+    m = draw(st.integers(min_value=1, max_value=max_elements))
+    n = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = [
+        draw(st.lists(st.integers(min_value=0, max_value=m - 1), unique=True, max_size=m))
+        for _ in range(n)
+    ]
+    sets[-1] = list(range(m))
+    weights = draw(
+        st.lists(st.floats(min_value=0.5, max_value=20.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    return SetCoverInstance(sets, weights, num_elements=m)
+
+
+@st.composite
+def seeds(draw):
+    return np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+
+
+class TestLocalRatioProperties:
+    @given(weighted_graphs(), seeds())
+    @_settings
+    def test_matching_is_always_feasible_and_half_optimal(self, g, rng):
+        result = local_ratio_matching(g, rng=rng)
+        assert is_matching(g, result.edge_ids)
+        exact = exact_matching(g)
+        assert result.weight >= exact.weight / 2.0 - 1e-6
+
+    @given(weighted_graphs(), st.integers(1, 40), seeds())
+    @_settings
+    def test_randomized_matching_guarantee_for_any_eta(self, g, eta, rng):
+        result = randomized_local_ratio_matching(g, eta, rng)
+        assert is_matching(g, result.edge_ids)
+        exact = exact_matching(g)
+        assert result.weight >= exact.weight / 2.0 - 1e-6
+
+    @given(feasible_instances(), seeds())
+    @_settings
+    def test_set_cover_local_ratio_feasible_and_f_approx(self, inst, rng):
+        result = local_ratio_set_cover(inst, rng=rng)
+        assert inst.is_cover(result.chosen_sets)
+        # f-approximation versus the trivial lower bound: the cheapest set
+        # containing each element, summed fractionally (weak LP-free bound).
+        assert result.weight <= inst.frequency * inst.cover_weight(range(inst.num_sets)) + 1e-6
+
+    @given(feasible_instances(), st.integers(1, 30), seeds())
+    @_settings
+    def test_randomized_set_cover_feasible(self, inst, eta, rng):
+        result = randomized_local_ratio_set_cover(inst, eta, rng)
+        assert inst.is_cover(result.chosen_sets)
+
+
+class TestHungryGreedyProperties:
+    @given(weighted_graphs(max_vertices=12), st.floats(0.2, 0.8), seeds())
+    @_settings
+    def test_mis_simple_always_maximal(self, g, mu, rng):
+        result = hungry_greedy_mis(g, mu, rng)
+        assert is_maximal_independent_set(g, result.vertices)
+
+    @given(weighted_graphs(max_vertices=12), st.floats(0.2, 0.8), seeds())
+    @_settings
+    def test_mis_improved_always_maximal(self, g, mu, rng):
+        result = hungry_greedy_mis_improved(g, mu, rng)
+        assert is_maximal_independent_set(g, result.vertices)
+
+    @given(weighted_graphs(max_vertices=10), st.floats(0.2, 0.8), seeds())
+    @_settings
+    def test_clique_always_maximal(self, g, mu, rng):
+        result = hungry_greedy_maximal_clique(g, mu, rng)
+        assert is_maximal_clique(g, result.vertices)
+
+    @given(feasible_instances(), st.floats(0.3, 0.8), st.floats(0.05, 1.0), seeds())
+    @_settings
+    def test_greedy_set_cover_always_feasible(self, inst, mu, epsilon, rng):
+        result = hungry_greedy_set_cover(inst, mu, rng, epsilon=epsilon)
+        assert inst.is_cover(result.chosen_sets)
+
+
+class TestColouringProperties:
+    @given(weighted_graphs(max_vertices=12), st.integers(1, 4), seeds())
+    @_settings
+    def test_vertex_colouring_always_proper(self, g, kappa, rng):
+        result = mapreduce_vertex_colouring(g, 0.3, rng, num_groups=kappa)
+        assert is_proper_vertex_colouring(g, result.colours)
+
+    @given(weighted_graphs(max_vertices=12), st.integers(1, 4), seeds())
+    @_settings
+    def test_edge_colouring_always_proper(self, g, kappa, rng):
+        result = mapreduce_edge_colouring(g, 0.3, rng, num_groups=kappa)
+        assert is_proper_edge_colouring(g, result.colours)
+
+    @given(weighted_graphs(max_vertices=12))
+    @_settings
+    def test_misra_gries_never_exceeds_delta_plus_one(self, g):
+        colours = misra_gries_edge_colouring(g)
+        assert is_proper_edge_colouring(g, colours)
+        assert len(set(colours.values())) <= g.max_degree() + 1

@@ -1,0 +1,116 @@
+"""Unit tests for set cover instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.setcover import (
+    cover_weight,
+    disjoint_groups_instance,
+    is_cover,
+    planted_partition_instance,
+    random_coverage_instance,
+    random_frequency_bounded_instance,
+    uncovered_elements,
+    vertex_cover_instance,
+)
+from repro.graphs import gnm_graph
+
+
+class TestFrequencyBounded:
+    def test_frequency_bound_holds(self, rng):
+        inst = random_frequency_bounded_instance(20, 200, 3, rng)
+        assert inst.frequency <= 3
+        assert inst.num_sets == 20
+        assert inst.num_elements == 200
+
+    def test_every_element_coverable(self, rng):
+        inst = random_frequency_bounded_instance(15, 100, 2, rng)
+        assert is_cover(inst, range(inst.num_sets))
+
+    def test_frequency_one(self, rng):
+        inst = random_frequency_bounded_instance(10, 50, 1, rng)
+        assert inst.frequency == 1
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            random_frequency_bounded_instance(10, 50, 0, rng)
+        with pytest.raises(ValueError):
+            random_frequency_bounded_instance(2, 50, 5, rng)
+
+
+class TestCoverage:
+    def test_feasible(self, rng):
+        inst = random_coverage_instance(50, 30, rng, density=0.05)
+        assert is_cover(inst, range(inst.num_sets))
+        assert inst.num_sets == 50 and inst.num_elements == 30
+
+    def test_density_controls_sizes(self, rng):
+        sparse = random_coverage_instance(50, 40, rng, density=0.02)
+        dense = random_coverage_instance(50, 40, rng, density=0.4)
+        assert dense.total_size > sparse.total_size
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(ValueError):
+            random_coverage_instance(10, 10, rng, density=0.0)
+
+
+class TestPlanted:
+    def test_known_optimum_is_feasible(self, rng):
+        inst = planted_partition_instance(8, 5, 3, rng)
+        planted = list(range(8))
+        assert is_cover(inst, planted)
+        assert cover_weight(inst, planted) == pytest.approx(8.0)
+
+    def test_decoys_never_cover_a_full_block(self, rng):
+        inst = planted_partition_instance(4, 6, 5, rng)
+        for set_id in range(4, inst.num_sets):
+            assert inst.set_sizes[set_id] < 6
+
+    def test_planted_is_optimal(self, rng):
+        """With decoy weight 0.8 > 1.0/2, no decoy combination beats a planted set."""
+        from repro.baselines import exact_set_cover_small
+
+        inst = planted_partition_instance(3, 4, 1, rng)
+        _, optimum = exact_set_cover_small(inst)
+        assert optimum == pytest.approx(3.0)
+
+    def test_block_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            planted_partition_instance(3, 1, 2, rng)
+
+
+class TestDisjointGroups:
+    def test_structure(self):
+        inst = disjoint_groups_instance(5, 4)
+        assert inst.num_sets == 5
+        assert inst.num_elements == 20
+        assert inst.frequency == 1
+        assert is_cover(inst, range(5))
+        assert not is_cover(inst, range(4))
+
+    def test_uncovered_elements_helper(self):
+        inst = disjoint_groups_instance(3, 2)
+        assert uncovered_elements(inst, [0, 1]) == [4, 5]
+        assert uncovered_elements(inst, [0, 1, 2]) == []
+
+
+class TestVertexCoverInstance:
+    def test_frequency_two(self, rng):
+        g = gnm_graph(20, 60, rng)
+        inst, weights = vertex_cover_instance(g, rng)
+        assert inst.frequency == 2
+        assert inst.num_elements == g.num_edges
+        assert weights.shape == (20,)
+
+    def test_unit_weights_when_no_rng(self, rng):
+        g = gnm_graph(10, 20, rng)
+        inst, weights = vertex_cover_instance(g)
+        np.testing.assert_allclose(weights, 1.0)
+
+    def test_explicit_weights_passed_through(self, rng):
+        g = gnm_graph(10, 20, rng)
+        w = np.arange(1.0, 11.0)
+        _, weights = vertex_cover_instance(g, vertex_weights=w)
+        np.testing.assert_allclose(weights, w)

@@ -1,0 +1,112 @@
+"""Unit tests for SetCoverInstance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import InfeasibleInstanceError
+from repro.setcover import SetCoverInstance
+from repro.graphs import star_graph, cycle_graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, small_instance):
+        assert small_instance.num_sets == 5
+        assert small_instance.num_elements == 4
+
+    def test_default_weights(self):
+        inst = SetCoverInstance([[0], [0, 1]])
+        np.testing.assert_allclose(inst.weights, 1.0)
+
+    def test_duplicate_elements_within_set_are_merged(self):
+        inst = SetCoverInstance([[0, 0, 1]], num_elements=2)
+        assert inst.set_sizes[0] == 2
+
+    def test_num_elements_inferred(self):
+        inst = SetCoverInstance([[0, 5], [1, 2, 3, 4]])
+        assert inst.num_elements == 6
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance([[0]], [0.0])
+        with pytest.raises(ValueError):
+            SetCoverInstance([[0]], [-1.0])
+
+    def test_rejects_out_of_range_elements(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance([[5]], num_elements=3)
+
+    def test_rejects_uncoverable_elements(self):
+        with pytest.raises(InfeasibleInstanceError):
+            SetCoverInstance([[0]], num_elements=2)
+
+    def test_rejects_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance([[0], [1]], [1.0])
+
+
+class TestStructure:
+    def test_dual_view(self, small_instance):
+        assert set(small_instance.sets_containing(0).tolist()) == {0, 1, 4}
+        assert set(small_instance.sets_containing(3).tolist()) == {2, 3, 4}
+
+    def test_frequency(self, small_instance):
+        assert small_instance.frequency == 3
+
+    def test_max_set_size(self, small_instance):
+        assert small_instance.max_set_size == 4
+
+    def test_weight_ratio(self, small_instance):
+        assert small_instance.weight_ratio == pytest.approx(3.5)
+
+    def test_total_size(self, small_instance):
+        assert small_instance.total_size == 3 + 2 + 2 + 1 + 4
+
+    def test_word_count(self, small_instance):
+        assert small_instance.word_count() == small_instance.total_size + 5
+
+
+class TestSolutions:
+    def test_cover_weight(self, small_instance):
+        assert small_instance.cover_weight([1, 2]) == pytest.approx(3.0)
+        assert small_instance.cover_weight([]) == 0.0
+        assert small_instance.cover_weight([1, 1]) == pytest.approx(1.5)
+
+    def test_is_cover(self, small_instance):
+        assert small_instance.is_cover([4])
+        assert small_instance.is_cover([1, 2])
+        assert not small_instance.is_cover([1])
+        assert not small_instance.is_cover([])
+
+    def test_covered_elements_mask(self, small_instance):
+        mask = small_instance.covered_elements([1])
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+
+class TestConversionsAndRestriction:
+    def test_from_vertex_cover_star(self):
+        g = star_graph(4)
+        inst = SetCoverInstance.from_vertex_cover(g, np.ones(5))
+        assert inst.num_sets == g.num_vertices
+        assert inst.num_elements == g.num_edges
+        assert inst.frequency == 2
+        # centre's set contains every edge
+        assert inst.set_sizes[0] == 4
+
+    def test_from_vertex_cover_cover_semantics(self):
+        g = cycle_graph(5)
+        inst = SetCoverInstance.from_vertex_cover(g, np.ones(5))
+        # vertices 0,1,2,3 cover all 5 edges of C5
+        assert inst.is_cover([0, 1, 2, 3])
+        assert not inst.is_cover([0, 1])
+
+    def test_restricted_to_elements(self, small_instance):
+        sub = small_instance.restricted_to_elements([0, 1])
+        assert sub.num_elements == small_instance.num_elements
+        assert sub.set_sizes[2] == 0  # set {2,3} has no surviving elements
+        assert sub.set_sizes[1] == 2
+
+    def test_restriction_preserves_weights(self, small_instance):
+        sub = small_instance.restricted_to_elements([3])
+        np.testing.assert_allclose(sub.weights, small_instance.weights)

@@ -1,0 +1,59 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestApiSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.graphs
+        import repro.mapreduce
+        import repro.setcover
+
+        assert repro.core.local_ratio is not None
+        assert repro.core.hungry_greedy is not None
+        assert repro.core.colouring is not None
+
+    def test_docstring_quickstart_executes(self):
+        rng = np.random.default_rng(0)
+        graph = repro.densified_graph(100, 0.4, rng, weights="uniform")
+        result, metrics = repro.mpc_weighted_matching(graph, mu=0.25, rng=rng)
+        assert repro.is_matching(graph, result.edge_ids)
+        assert metrics.num_rounds > 0 and result.weight > 0
+
+    def test_results_are_exposed(self):
+        assert repro.MatchingResult([], 0.0).weight == 0.0
+        assert repro.SetCoverResult([], 0.0).num_iterations == 0
+        assert repro.IterationStats(1, 2, 3, 4).alive == 2
+
+    def test_exception_types_exposed_via_mapreduce(self):
+        from repro.mapreduce import AlgorithmFailureError, MemoryExceededError, ReproError
+
+        assert issubclass(MemoryExceededError, ReproError)
+        assert issubclass(AlgorithmFailureError, ReproError)
+
+
+class TestColouringResultHelpers:
+    def test_num_colours_and_array(self):
+        result = repro.ColouringResult({0: (0, 1), 1: (0, 0), 2: (1, 0)}, num_groups=2)
+        assert result.num_colours == 3
+        arr = result.as_array(3)
+        assert sorted(arr.tolist()) == [0, 1, 2]
+
+    def test_independent_set_result_size(self):
+        assert repro.IndependentSetResult([1, 2, 3]).size == 3
