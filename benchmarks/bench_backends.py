@@ -1,0 +1,115 @@
+"""Execution-backend benchmarks: serial vs multiprocessing vs batch.
+
+The paper's sweeps are embarrassingly parallel — every (n, µ, ε) grid cell
+is an independent, self-seeded evaluation — so a multi-core machine should
+cut sweep wall-clock nearly linearly in the worker count.  These benchmarks
+measure that on a reference sweep of Figure-1 matching cells:
+
+* ``bench_sweep_serial`` / ``bench_sweep_mp`` — the same 8-point sweep on
+  the serial and multiprocessing backends (compare their ``mean`` columns;
+  the measured speedup is also attached to the mp run's ``extra_info``);
+* ``bench_sweep_batch_memoisation`` — the batch backend on a sweep with
+  duplicated points, which it memoises instead of recomputing;
+* ``bench_cache_rerun`` — a cached re-run of a sweep, which should be
+  orders of magnitude faster than computing it.
+
+On a ≥4-core machine the mp benchmark asserts a >2× speedup with 4 workers
+(the PR's acceptance bar); on smaller machines it only records the ratio —
+a fork/join over 1 core cannot beat serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import run_sweep_benchmark
+from repro.backends import SweepPoint, run_sweep
+from repro.experiments import matching_experiment
+
+#: Reference sweep: 8 independent matching cells, ~1 s each serially.
+REFERENCE_SWEEP = [
+    SweepPoint(
+        experiment=f"fig1-matching[{i}]",
+        fn=matching_experiment,
+        kwargs={"n": 140, "c": 0.45, "mu": 0.25},
+        seed=(2018, i),
+    )
+    for i in range(8)
+]
+
+JOBS = 4
+
+
+def _wall_clock(backend: str, *, jobs: int | None = None) -> float:
+    start = time.perf_counter()
+    run_sweep(REFERENCE_SWEEP, backend=backend, jobs=jobs)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="backends")
+def bench_sweep_serial(benchmark):
+    results = run_sweep_benchmark(benchmark, REFERENCE_SWEEP, backend="serial")
+    assert all(record.valid for result in results for record in result.records)
+
+
+@pytest.mark.benchmark(group="backends")
+def bench_sweep_mp(benchmark):
+    """The acceptance benchmark: ≥4-point sweep, 4 workers, >2× vs serial."""
+    serial_seconds = _wall_clock("serial")
+    results = run_sweep_benchmark(benchmark, REFERENCE_SWEEP, backend="mp", jobs=JOBS)
+    assert all(record.valid for result in results for record in result.records)
+
+    mp_seconds = min(benchmark.stats.stats.data)
+    speedup = serial_seconds / mp_seconds
+    benchmark.extra_info.update(
+        {
+            "serial_seconds": round(serial_seconds, 3),
+            "mp_seconds": round(mp_seconds, 3),
+            "speedup_vs_serial": round(speedup, 2),
+            "cpus": os.cpu_count(),
+        }
+    )
+    if (os.cpu_count() or 1) >= JOBS:
+        assert speedup > 2.0, (
+            f"expected >2x speedup with {JOBS} workers on {os.cpu_count()} CPUs, "
+            f"got {speedup:.2f}x (serial {serial_seconds:.2f}s, mp {mp_seconds:.2f}s)"
+        )
+
+
+@pytest.mark.benchmark(group="backends")
+def bench_sweep_mp_matches_serial(benchmark):
+    """Correctness under timing: mp results must be byte-identical to serial."""
+    serial = run_sweep(REFERENCE_SWEEP, backend="serial")
+    results = run_sweep_benchmark(benchmark, REFERENCE_SWEEP, backend="mp", jobs=JOBS)
+    assert [
+        [record.metrics for record in result.records] for result in results
+    ] == [[record.metrics for record in result.records] for result in serial]
+
+
+@pytest.mark.benchmark(group="backends")
+def bench_sweep_batch_memoisation(benchmark):
+    """Duplicated points cost (almost) nothing on the batch backend."""
+    duplicated = REFERENCE_SWEEP[:2] * 4  # 8 points, only 2 unique
+    results = run_sweep_benchmark(benchmark, duplicated, backend="batch")
+    assert len(results) == 8
+    unique_time = benchmark.stats.stats.data[-1]
+    serial_two_points = _wall_clock("serial") / len(REFERENCE_SWEEP) * 2
+    benchmark.extra_info["unique_points"] = 2
+    # 8 points at the cost of ~2: allow generous slack for timer noise.
+    assert unique_time < 4 * serial_two_points
+
+
+@pytest.mark.benchmark(group="backends")
+def bench_cache_rerun(benchmark, tmp_path):
+    """A fully cached re-run skips all computation."""
+    cache_dir = tmp_path / "sweep-cache"
+    run_sweep(REFERENCE_SWEEP, cache=cache_dir)  # populate
+
+    def rerun():
+        return run_sweep(REFERENCE_SWEEP, cache=cache_dir)
+
+    results = benchmark.pedantic(rerun, rounds=3, iterations=1, warmup_rounds=0)
+    assert all(result.cached for result in results)

@@ -11,11 +11,12 @@ pytest-benchmark report and can be copied into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 import pytest
 
+from repro.backends import Backend, PointResult, SweepPoint, run_sweep
 from repro.experiments.harness import ExperimentRecord
 
 #: Constant-factor slack applied when comparing measured rounds against the
@@ -59,6 +60,37 @@ def run_experiment_benchmark(
         }
     )
     return record
+
+
+def run_sweep_benchmark(
+    benchmark,
+    points: Sequence[SweepPoint],
+    *,
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    rounds: int = 1,
+) -> list[PointResult]:
+    """Benchmark a whole sweep through :func:`repro.backends.run_sweep`.
+
+    Times the end-to-end sweep (backend dispatch included) and attaches the
+    per-point record metrics to ``benchmark.extra_info``.  Returns the last
+    run's results.
+    """
+    points = list(points)
+
+    def one_run() -> list[PointResult]:
+        return run_sweep(points, backend=backend, jobs=jobs)
+
+    results = benchmark.pedantic(one_run, rounds=rounds, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "backend": str(backend or "serial"),
+            "jobs": jobs,
+            "points": len(points),
+            "experiments": [result.experiment for result in results],
+        }
+    )
+    return results
 
 
 def assert_round_shape(record: ExperimentRecord, *, measured_key: str = "rounds") -> None:

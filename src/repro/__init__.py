@@ -17,7 +17,10 @@ This package provides:
 * :mod:`repro.baselines` — sequential and prior-work comparison algorithms
   (filtering, Luby, Chvátal greedy, Misra–Gries, exact solvers);
 * :mod:`repro.analysis`, :mod:`repro.experiments` — theoretical bounds,
-  approximation-ratio helpers, and the Figure-1 reproduction harness.
+  approximation-ratio helpers, and the Figure-1 reproduction harness;
+* :mod:`repro.backends` — pluggable execution backends (serial,
+  multiprocessing, batch) plus a disk result-cache, behind the single
+  :func:`repro.backends.run_sweep` entry point.
 
 Quickstart
 ----------
@@ -32,7 +35,15 @@ Quickstart
 True
 """
 
-from . import analysis, baselines, core, experiments, graphs, mapreduce, setcover
+from . import analysis, backends, baselines, core, experiments, graphs, mapreduce, setcover
+from .backends import (
+    BatchBackend,
+    MultiprocessingBackend,
+    ResultCache,
+    SerialBackend,
+    SweepPoint,
+    run_sweep,
+)
 from .baselines import (
     exact_matching,
     filtering_unweighted_matching,
@@ -107,6 +118,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # subpackages
+    "backends",
     "mapreduce",
     "graphs",
     "setcover",
@@ -114,6 +126,13 @@ __all__ = [
     "baselines",
     "analysis",
     "experiments",
+    # execution backends
+    "SweepPoint",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "BatchBackend",
+    "ResultCache",
+    "run_sweep",
     # substrates
     "Graph",
     "SetCoverInstance",

@@ -1,0 +1,23 @@
+"""The default backend: evaluate points one after another, in process.
+
+This reproduces the pre-backend behaviour of the experiment harness exactly
+and is the reference implementation the other backends are checked against
+(same seeds ⇒ identical records).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Backend, PointResult, SweepPoint, execute_point
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(Backend):
+    """Evaluate every point sequentially in the calling process."""
+
+    name = "serial"
+
+    def run(self, points: Sequence[SweepPoint]) -> list[PointResult]:
+        return [execute_point(point) for point in points]

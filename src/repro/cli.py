@@ -1,6 +1,6 @@
 """Command-line interface for running the reproduction experiments.
 
-Installed as ``python -m repro``.  Three subcommands:
+Installed as ``python -m repro``.  Four subcommands:
 
 ``figure1``
     Run every (or selected) Figure-1 experiment and print the measured table
@@ -14,13 +14,29 @@ Installed as ``python -m repro``.  Three subcommands:
     Run one of the ablation sweeps (``mu``, ``eta`` or ``epsilon``) and print
     the sweep table.
 
+``scaling``
+    Run one of the scaling sweeps (``n``, ``c`` or ``space``) and print the
+    growth curve.
+
+Every subcommand accepts the execution-backend flags:
+
+``--backend {serial,mp,batch}``
+    How to execute the sweep's independent points (default ``serial``);
+    ``mp`` fans points out across worker processes with identical results.
+``--jobs N``
+    Worker count for ``--backend mp`` (default: all CPUs).
+``--cache-dir PATH``
+    Disk cache for completed points; re-runs skip work already done.
+
 Examples
 --------
 ::
 
     python -m repro figure1 --seed 7 --trials 3
+    python -m repro figure1 --backend mp --jobs 4 --cache-dir .sweep-cache
     python -m repro experiment fig1-matching --seed 1
-    python -m repro ablation mu --algorithm matching
+    python -m repro ablation mu --algorithm matching --backend mp
+    python -m repro scaling n --algorithm mis
 """
 
 from __future__ import annotations
@@ -33,10 +49,13 @@ from typing import Sequence
 import numpy as np
 
 from .analysis import format_table
+from .backends import BACKENDS
 from .experiments import (
     FIGURE1_EXPERIMENTS,
-    aggregate_records,
-    run_trials,
+    rounds_vs_c,
+    rounds_vs_n,
+    run_figure1,
+    space_vs_mu,
     sweep_epsilon,
     sweep_mu,
     sweep_sample_budget,
@@ -44,6 +63,49 @@ from .experiments import (
 from .experiments.harness import ExperimentRecord
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return jobs
+
+
+def _cache_dir(value: str) -> str:
+    import os
+
+    if os.path.exists(value) and not os.path.isdir(value):
+        raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
+    return value
+
+
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared execution-backend flags to a subcommand parser."""
+    group = parser.add_argument_group("execution backend")
+    group.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="serial",
+        help="how to execute the sweep's independent points (default: serial)",
+    )
+    group.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend mp (default: all CPUs)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        metavar="PATH",
+        help="cache completed points here; re-runs skip finished work",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,12 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these experiments",
     )
     fig1.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    _add_backend_options(fig1)
 
     single = sub.add_parser("experiment", help="run one experiment and print its record")
     single.add_argument("name", choices=sorted(FIGURE1_EXPERIMENTS))
     single.add_argument("--seed", type=int, default=2018)
     single.add_argument("--trials", type=int, default=1)
     single.add_argument("--json", action="store_true")
+    _add_backend_options(single)
 
     ablation = sub.add_parser("ablation", help="run an ablation sweep")
     ablation.add_argument("sweep", choices=["mu", "eta", "epsilon"])
@@ -85,6 +149,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="for eta/epsilon sweeps: matching|set-cover / set-cover|b-matching",
     )
     ablation.add_argument("--json", action="store_true")
+    _add_backend_options(ablation)
+
+    scaling = sub.add_parser("scaling", help="run a scaling sweep")
+    scaling.add_argument("sweep", choices=["n", "c", "space"])
+    scaling.add_argument("--seed", type=int, default=2018)
+    scaling.add_argument(
+        "--algorithm",
+        default="matching",
+        help="for the n sweep: matching | vertex-cover | mis",
+    )
+    scaling.add_argument("--json", action="store_true")
+    _add_backend_options(scaling)
     return parser
 
 
@@ -118,21 +194,32 @@ def _print_records(records: Sequence[ExperimentRecord], as_json: bool) -> None:
     print(format_table(headers, rows))
 
 
+def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    return {
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "cache": args.cache_dir,
+    }
+
+
 def _run_figure1(args: argparse.Namespace) -> int:
-    names = args.only or list(FIGURE1_EXPERIMENTS)
-    records = []
-    for name in names:
-        experiment = FIGURE1_EXPERIMENTS[name]
-        trials = run_trials(lambda rng: experiment(rng), seed=args.seed, trials=args.trials)
-        records.append(aggregate_records(trials))
+    records = run_figure1(
+        args.seed,
+        experiments=args.only or None,
+        trials=args.trials,
+        **_backend_kwargs(args),
+    )
     _print_records(records, args.json)
     return 0 if all(r.valid for r in records) else 1
 
 
 def _run_single(args: argparse.Namespace) -> int:
-    experiment = FIGURE1_EXPERIMENTS[args.name]
-    trials = run_trials(lambda rng: experiment(rng), seed=args.seed, trials=args.trials)
-    record = aggregate_records(trials)
+    [record] = run_figure1(
+        args.seed,
+        experiments=[args.name],
+        trials=args.trials,
+        **_backend_kwargs(args),
+    )
     if args.json:
         print(json.dumps(_record_to_json(record), indent=2, default=str))
     else:
@@ -145,12 +232,26 @@ def _run_single(args: argparse.Namespace) -> int:
 
 def _run_ablation(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
+    kwargs = _backend_kwargs(args)
     if args.sweep == "mu":
-        records = sweep_mu(rng, algorithm=args.algorithm)
+        records = sweep_mu(rng, algorithm=args.algorithm, **kwargs)
     elif args.sweep == "eta":
-        records = sweep_sample_budget(rng, problem=args.problem or "matching")
+        records = sweep_sample_budget(rng, problem=args.problem or "matching", **kwargs)
     else:
-        records = sweep_epsilon(rng, problem=args.problem or "set-cover")
+        records = sweep_epsilon(rng, problem=args.problem or "set-cover", **kwargs)
+    _print_records(records, args.json)
+    return 0
+
+
+def _run_scaling(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    kwargs = _backend_kwargs(args)
+    if args.sweep == "n":
+        records = rounds_vs_n(rng, algorithm=args.algorithm, **kwargs)
+    elif args.sweep == "c":
+        records = rounds_vs_c(rng, **kwargs)
+    else:
+        records = space_vs_mu(rng, **kwargs)
     _print_records(records, args.json)
     return 0
 
@@ -159,12 +260,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.backend != "mp":
+        parser.error("--jobs is only meaningful with --backend mp")
     if args.command == "figure1":
         return _run_figure1(args)
     if args.command == "experiment":
         return _run_single(args)
     if args.command == "ablation":
         return _run_ablation(args)
+    if args.command == "scaling":
+        return _run_scaling(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -1,8 +1,15 @@
-"""Experiment harness: Figure-1 reproduction and ablation sweeps."""
+"""Experiment harness: Figure-1 reproduction and ablation sweeps.
+
+Every sweep here is expressed as independent, self-seeded
+:class:`~repro.backends.SweepPoint` evaluations executed through
+:func:`~repro.backends.run_sweep`, so it can run on any execution backend
+(serial, multiprocessing, batch) with identical results.
+"""
 
 from .ablations import sweep_epsilon, sweep_mu, sweep_sample_budget
 from .figure1 import (
     FIGURE1_EXPERIMENTS,
+    figure1_points,
     b_matching_experiment,
     edge_colouring_experiment,
     matching_experiment,
@@ -24,6 +31,7 @@ __all__ = [
     "run_trials",
     "seeded_rngs",
     "FIGURE1_EXPERIMENTS",
+    "figure1_points",
     "run_figure1",
     "vertex_cover_experiment",
     "set_cover_f_experiment",

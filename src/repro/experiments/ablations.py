@@ -10,6 +10,14 @@ round bounds directly:
   ``η`` on the number of sampling iterations of Algorithm 1 / Algorithm 4.
 * :func:`sweep_epsilon` — the quality/rounds trade-off of ``ε`` for
   Algorithm 3 (greedy set cover) and Algorithm 7 (b-matching).
+
+Every sweep is a list of independent :class:`~repro.backends.SweepPoint`
+evaluations routed through :func:`~repro.backends.run_sweep`, so all of
+them accept ``backend=`` / ``jobs=`` / ``cache=``.  Points that must share
+one workload across the sweep (e.g. the same graph at every ``µ``) receive
+a ``workload_seed`` drawn once from the caller's RNG; the point function
+rebuilds the workload deterministically from it, while the algorithm's own
+randomness comes from the point's per-point RNG.
 """
 
 from __future__ import annotations
@@ -18,7 +26,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.hungry_greedy import mpc_maximal_independent_set
+from ..backends import Backend, ResultCache, SweepPoint, run_sweep, sweep_records
+from ..core.hungry_greedy import mpc_greedy_set_cover, mpc_maximal_independent_set
 from ..core.local_ratio import (
     mpc_weighted_b_matching,
     mpc_weighted_matching,
@@ -27,11 +36,50 @@ from ..core.local_ratio import (
     randomized_local_ratio_set_cover,
 )
 from ..graphs import densified_graph
-from ..setcover import SetCoverInstance, random_coverage_instance
-from ..core.hungry_greedy import mpc_greedy_set_cover
+from ..setcover import random_coverage_instance
 from .harness import ExperimentRecord
 
 __all__ = ["sweep_mu", "sweep_sample_budget", "sweep_epsilon"]
+
+
+def _point_seeds(rng: np.random.Generator) -> tuple[int, int]:
+    """Draw (workload_seed, base_seed) once, keeping sweeps reproducible."""
+    workload_seed = int(rng.integers(0, 2**31 - 1))
+    base_seed = int(rng.integers(0, 2**31 - 1))
+    return workload_seed, base_seed
+
+
+# --------------------------------------------------------------------------- #
+# µ sweep
+# --------------------------------------------------------------------------- #
+def _mu_point(
+    rng: np.random.Generator,
+    *,
+    workload_seed: int,
+    n: int,
+    c: float,
+    mu: float,
+    algorithm: str,
+) -> ExperimentRecord:
+    """One cell of the µ sweep (workload rebuilt from ``workload_seed``)."""
+    workload_rng = np.random.default_rng(workload_seed)
+    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    vertex_weights = workload_rng.uniform(1.0, 20.0, size=n)
+    if algorithm == "matching":
+        _, metrics = mpc_weighted_matching(graph, mu, rng)
+    elif algorithm == "vertex-cover":
+        _, metrics = mpc_weighted_vertex_cover(graph, vertex_weights, mu, rng)
+    else:
+        _, metrics = mpc_maximal_independent_set(graph, mu, rng)
+    return ExperimentRecord(
+        experiment=f"ablation-mu-{algorithm}",
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        metrics={
+            "rounds": float(metrics.num_rounds),
+            "max_space_per_machine": float(metrics.max_space_per_machine),
+        },
+        bounds={"rounds": c / mu},
+    )
 
 
 def sweep_mu(
@@ -41,31 +89,77 @@ def sweep_mu(
     c: float = 0.45,
     mus: Sequence[float] = (0.15, 0.25, 0.35, 0.5),
     algorithm: str = "matching",
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
     """Measure rounds as a function of ``µ`` for one of the ``O(c/µ)``-round algorithms."""
     if algorithm not in ("matching", "vertex-cover", "mis"):
         raise ValueError("algorithm must be 'matching', 'vertex-cover' or 'mis'")
-    graph = densified_graph(n, c, rng, weights="uniform")
-    vertex_weights = rng.uniform(1.0, 20.0, size=n)
-    records: list[ExperimentRecord] = []
-    for mu in mus:
-        if algorithm == "matching":
-            _, metrics = mpc_weighted_matching(graph, mu, rng)
-        elif algorithm == "vertex-cover":
-            _, metrics = mpc_weighted_vertex_cover(graph, vertex_weights, mu, rng)
-        else:
-            _, metrics = mpc_maximal_independent_set(graph, mu, rng)
-        record = ExperimentRecord(
+    workload_seed, base_seed = _point_seeds(rng)
+    points = [
+        SweepPoint(
             experiment=f"ablation-mu-{algorithm}",
-            parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
-            metrics={
-                "rounds": float(metrics.num_rounds),
-                "max_space_per_machine": float(metrics.max_space_per_machine),
+            fn=_mu_point,
+            kwargs={
+                "workload_seed": workload_seed,
+                "n": n,
+                "c": c,
+                "mu": float(mu),
+                "algorithm": algorithm,
             },
-            bounds={"rounds": c / mu},
+            seed=(base_seed, index),
         )
-        records.append(record)
-    return records
+        for index, mu in enumerate(mus)
+    ]
+    return sweep_records(run_sweep(points, backend=backend, jobs=jobs, cache=cache))
+
+
+# --------------------------------------------------------------------------- #
+# η sweep
+# --------------------------------------------------------------------------- #
+def _eta_matching_point(
+    rng: np.random.Generator,
+    *,
+    workload_seed: int,
+    n: int,
+    c: float,
+    exponent: float,
+) -> ExperimentRecord:
+    workload_rng = np.random.default_rng(workload_seed)
+    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    eta = max(1, int(round(n**exponent)))
+    result = randomized_local_ratio_matching(graph, eta, rng)
+    return ExperimentRecord(
+        experiment="ablation-eta-matching",
+        parameters={"n": n, "m": graph.num_edges, "eta": eta, "exponent": exponent},
+        metrics={
+            "iterations": float(result.num_iterations),
+            "stack_size": float(result.stack_size),
+            "weight": result.weight,
+        },
+    )
+
+
+def _eta_set_cover_point(
+    rng: np.random.Generator,
+    *,
+    workload_seed: int,
+    n: int,
+    exponent: float,
+) -> ExperimentRecord:
+    workload_rng = np.random.default_rng(workload_seed)
+    instance = random_coverage_instance(n, 8 * n, workload_rng, density=0.02)
+    eta = max(1, int(round(n**exponent)))
+    result = randomized_local_ratio_set_cover(instance, eta, rng)
+    return ExperimentRecord(
+        experiment="ablation-eta-set-cover",
+        parameters={"n": n, "m": instance.num_elements, "eta": eta},
+        metrics={
+            "iterations": float(result.num_iterations),
+            "weight": result.weight,
+        },
+    )
 
 
 def sweep_sample_budget(
@@ -75,44 +169,85 @@ def sweep_sample_budget(
     c: float = 0.45,
     exponents: Sequence[float] = (1.0, 1.15, 1.3),
     problem: str = "matching",
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
     """Measure sampling iterations as the per-round budget ``η = n^{exponent}`` grows."""
     if problem not in ("matching", "set-cover"):
         raise ValueError("problem must be 'matching' or 'set-cover'")
-    records: list[ExperimentRecord] = []
-    if problem == "matching":
-        graph = densified_graph(n, c, rng, weights="uniform")
-        for exponent in exponents:
-            eta = max(1, int(round(n**exponent)))
-            result = randomized_local_ratio_matching(graph, eta, rng)
-            records.append(
-                ExperimentRecord(
-                    experiment="ablation-eta-matching",
-                    parameters={"n": n, "m": graph.num_edges, "eta": eta, "exponent": exponent},
-                    metrics={
-                        "iterations": float(result.num_iterations),
-                        "stack_size": float(result.stack_size),
-                        "weight": result.weight,
-                    },
-                )
+    workload_seed, base_seed = _point_seeds(rng)
+    points: list[SweepPoint] = []
+    for index, exponent in enumerate(exponents):
+        if problem == "matching":
+            fn, kwargs = _eta_matching_point, {
+                "workload_seed": workload_seed,
+                "n": n,
+                "c": c,
+                "exponent": float(exponent),
+            }
+        else:
+            fn, kwargs = _eta_set_cover_point, {
+                "workload_seed": workload_seed,
+                "n": n,
+                "exponent": float(exponent),
+            }
+        points.append(
+            SweepPoint(
+                experiment=f"ablation-eta-{problem}",
+                fn=fn,
+                kwargs=kwargs,
+                seed=(base_seed, index),
             )
-    else:
-        num_sets = n
-        instance: SetCoverInstance = random_coverage_instance(num_sets, 8 * n, rng, density=0.02)
-        for exponent in exponents:
-            eta = max(1, int(round(n**exponent)))
-            result = randomized_local_ratio_set_cover(instance, eta, rng)
-            records.append(
-                ExperimentRecord(
-                    experiment="ablation-eta-set-cover",
-                    parameters={"n": num_sets, "m": instance.num_elements, "eta": eta},
-                    metrics={
-                        "iterations": float(result.num_iterations),
-                        "weight": result.weight,
-                    },
-                )
-            )
-    return records
+        )
+    return sweep_records(run_sweep(points, backend=backend, jobs=jobs, cache=cache))
+
+
+# --------------------------------------------------------------------------- #
+# ε sweep
+# --------------------------------------------------------------------------- #
+def _epsilon_set_cover_point(
+    rng: np.random.Generator,
+    *,
+    workload_seed: int,
+    epsilon: float,
+    mu: float,
+) -> ExperimentRecord:
+    workload_rng = np.random.default_rng(workload_seed)
+    instance = random_coverage_instance(180, 50, workload_rng, density=0.08)
+    result, metrics = mpc_greedy_set_cover(instance, mu, rng, epsilon=epsilon)
+    return ExperimentRecord(
+        experiment="ablation-epsilon-set-cover",
+        parameters={"epsilon": epsilon, "mu": mu},
+        metrics={
+            "weight": result.weight,
+            "rounds": float(metrics.num_rounds),
+            "inner_iterations": float(metrics.notes["inner_iterations"]),
+        },
+    )
+
+
+def _epsilon_b_matching_point(
+    rng: np.random.Generator,
+    *,
+    workload_seed: int,
+    n: int,
+    c: float,
+    b: int,
+    mu: float,
+    epsilon: float,
+) -> ExperimentRecord:
+    workload_rng = np.random.default_rng(workload_seed)
+    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    result, metrics = mpc_weighted_b_matching(graph, b, mu, rng, epsilon=epsilon)
+    return ExperimentRecord(
+        experiment="ablation-epsilon-b-matching",
+        parameters={"epsilon": epsilon, "b": b, "mu": mu},
+        metrics={
+            "weight": result.weight,
+            "rounds": float(metrics.num_rounds),
+        },
+    )
 
 
 def sweep_epsilon(
@@ -124,38 +259,37 @@ def sweep_epsilon(
     c: float = 0.45,
     b: int = 3,
     mu: float = 0.3,
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
     """Trade approximation quality against rounds via ``ε`` (Algorithm 3 / Algorithm 7)."""
     if problem not in ("set-cover", "b-matching"):
         raise ValueError("problem must be 'set-cover' or 'b-matching'")
-    records: list[ExperimentRecord] = []
-    if problem == "set-cover":
-        instance = random_coverage_instance(180, 50, rng, density=0.08)
-        for epsilon in epsilons:
-            result, metrics = mpc_greedy_set_cover(instance, mu, rng, epsilon=epsilon)
-            records.append(
-                ExperimentRecord(
-                    experiment="ablation-epsilon-set-cover",
-                    parameters={"epsilon": epsilon, "mu": mu},
-                    metrics={
-                        "weight": result.weight,
-                        "rounds": float(metrics.num_rounds),
-                        "inner_iterations": float(metrics.notes["inner_iterations"]),
-                    },
-                )
+    workload_seed, base_seed = _point_seeds(rng)
+    points: list[SweepPoint] = []
+    for index, epsilon in enumerate(epsilons):
+        if problem == "set-cover":
+            fn, kwargs = _epsilon_set_cover_point, {
+                "workload_seed": workload_seed,
+                "epsilon": float(epsilon),
+                "mu": mu,
+            }
+        else:
+            fn, kwargs = _epsilon_b_matching_point, {
+                "workload_seed": workload_seed,
+                "n": n,
+                "c": c,
+                "b": b,
+                "mu": mu,
+                "epsilon": float(epsilon),
+            }
+        points.append(
+            SweepPoint(
+                experiment=f"ablation-epsilon-{problem}",
+                fn=fn,
+                kwargs=kwargs,
+                seed=(base_seed, index),
             )
-    else:
-        graph = densified_graph(n, c, rng, weights="uniform")
-        for epsilon in epsilons:
-            result, metrics = mpc_weighted_b_matching(graph, b, mu, rng, epsilon=epsilon)
-            records.append(
-                ExperimentRecord(
-                    experiment="ablation-epsilon-b-matching",
-                    parameters={"epsilon": epsilon, "b": b, "mu": mu},
-                    metrics={
-                        "weight": result.weight,
-                        "rounds": float(metrics.num_rounds),
-                    },
-                )
-            )
-    return records
+        )
+    return sweep_records(run_sweep(points, backend=backend, jobs=jobs, cache=cache))

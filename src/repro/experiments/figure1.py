@@ -19,9 +19,12 @@ theorem's expression, space within its budget, ratio within the guarantee.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..analysis import bounds as theory
+from ..backends import Backend, ResultCache, SweepPoint, run_sweep
 from ..analysis.ratios import maximization_ratio, minimization_ratio
 from ..baselines import (
     exact_matching,
@@ -79,6 +82,7 @@ __all__ = [
     "vertex_colouring_experiment",
     "edge_colouring_experiment",
     "FIGURE1_EXPERIMENTS",
+    "figure1_points",
     "run_figure1",
 ]
 
@@ -495,12 +499,66 @@ FIGURE1_EXPERIMENTS = {
 }
 
 
-def run_figure1(seed: int = 0, *, experiments: list[str] | None = None) -> list[ExperimentRecord]:
-    """Run every (or the selected) Figure-1 experiment once and return the records."""
-    names = list(FIGURE1_EXPERIMENTS) if experiments is None else experiments
-    records: list[ExperimentRecord] = []
-    rng = np.random.default_rng(seed)
+def figure1_points(
+    seed: int = 0,
+    *,
+    experiments: list[str] | None = None,
+    trials: int = 1,
+    overrides: Mapping[str, Mapping[str, object]] | None = None,
+) -> list[SweepPoint]:
+    """Build the sweep points for the (selected) Figure-1 experiments.
+
+    Each point's seed is the pair ``(seed, row_index)`` with ``row_index``
+    taken from the registry order, so a point's randomness is independent of
+    which subset of rows is selected and of the execution backend.
+    ``overrides`` maps experiment names to keyword arguments for that row's
+    experiment function (e.g. ``{"fig1-mis": {"n": 60}}``).
+    """
+    names = list(FIGURE1_EXPERIMENTS) if experiments is None else list(experiments)
+    row_index = {name: index for index, name in enumerate(FIGURE1_EXPERIMENTS)}
+    points: list[SweepPoint] = []
     for name in names:
-        experiment = FIGURE1_EXPERIMENTS[name]
-        records.append(experiment(rng))
+        if name not in FIGURE1_EXPERIMENTS:
+            raise KeyError(f"unknown Figure-1 experiment {name!r}")
+        points.append(
+            SweepPoint(
+                experiment=name,
+                fn=FIGURE1_EXPERIMENTS[name],
+                kwargs=dict((overrides or {}).get(name, {})),
+                seed=(seed, row_index[name]),
+                trials=max(1, trials),
+            )
+        )
+    return points
+
+
+def run_figure1(
+    seed: int = 0,
+    *,
+    experiments: list[str] | None = None,
+    trials: int = 1,
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
+    reduce: str = "mean",
+    overrides: Mapping[str, Mapping[str, object]] | None = None,
+) -> list[ExperimentRecord]:
+    """Run the (selected) Figure-1 experiments and return one record per row.
+
+    Rows are independent sweep points executed through
+    :func:`~repro.backends.run_sweep`, so they can run serially, fanned out
+    over worker processes (``backend="mp"``), or against a disk cache; the
+    records are identical in every case.  With ``trials > 1`` each row's
+    trial records are combined via :func:`aggregate_records`.
+    """
+    from .harness import aggregate_records
+
+    points = figure1_points(seed, experiments=experiments, trials=trials, overrides=overrides)
+    results = run_sweep(points, backend=backend, jobs=jobs, cache=cache)
+    records: list[ExperimentRecord] = []
+    for result in results:
+        if len(result.records) == 1:
+            records.append(result.records[0])
+        else:
+            records.append(aggregate_records(result.records, reduce=reduce))
     return records

@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..backends import Backend, SweepPoint, run_sweep, spawn_rngs
+
 __all__ = ["ExperimentRecord", "aggregate_records", "run_trials", "seeded_rngs"]
 
 
@@ -48,8 +50,7 @@ class ExperimentRecord:
 
 def seeded_rngs(seed: int, trials: int) -> list[np.random.Generator]:
     """Independent generators for ``trials`` repetitions derived from one seed."""
-    seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(max(1, trials))]
+    return spawn_rngs(seed, trials)
 
 
 def run_trials(
@@ -57,9 +58,26 @@ def run_trials(
     *,
     seed: int = 0,
     trials: int = 3,
+    backend: Backend | str | None = None,
 ) -> list[ExperimentRecord]:
-    """Run ``experiment`` once per derived RNG and return all records."""
-    return [experiment(rng) for rng in seeded_rngs(seed, trials)]
+    """Run ``experiment`` once per derived RNG and return all records.
+
+    The trials form a single :class:`~repro.backends.SweepPoint` routed
+    through :func:`~repro.backends.run_sweep`; with a non-serial backend the
+    experiment callable must be module-level (picklable).  Experiment
+    parameters belong in the callable itself (bind them with
+    ``functools.partial`` or a wrapper) — this signature deliberately takes
+    no pass-through kwargs so harness options can never be mistaken for
+    experiment parameters.
+    """
+    point = SweepPoint(
+        experiment=getattr(experiment, "__name__", "experiment"),
+        fn=experiment,
+        seed=seed,
+        trials=trials,
+    )
+    [result] = run_sweep([point], backend=backend)
+    return list(result.records)
 
 
 def aggregate_records(

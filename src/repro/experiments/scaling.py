@@ -13,7 +13,11 @@ claim:
   ``n^{1+µ}``.
 
 Each function returns a list of :class:`ExperimentRecord` so the results can
-be tabulated with :func:`repro.analysis.tables.render_records`.
+be tabulated with :func:`repro.analysis.tables.render_records`.  Like the
+ablations, every sweep is a list of independent
+:class:`~repro.backends.SweepPoint` evaluations routed through
+:func:`~repro.backends.run_sweep` and accepts ``backend=`` / ``jobs=`` /
+``cache=``; sizes of a curve can therefore run in parallel.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backends import Backend, ResultCache, SweepPoint, run_sweep, sweep_records
 from ..baselines import luby_mis
 from ..core.hungry_greedy import hungry_greedy_mis_improved
 from ..core.local_ratio import (
@@ -36,6 +41,43 @@ from .harness import ExperimentRecord
 __all__ = ["rounds_vs_n", "rounds_vs_c", "space_vs_mu"]
 
 
+def _base_seed(rng: np.random.Generator) -> int:
+    return int(rng.integers(0, 2**31 - 1))
+
+
+def _scaling_n_point(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    c: float,
+    mu: float,
+    algorithm: str,
+) -> ExperimentRecord:
+    """One size of the rounds-vs-n curve (workload built from the point RNG)."""
+    graph = densified_graph(n, c, rng, weights="uniform")
+    eta = default_eta_for_graph(graph, mu)
+    metrics: dict[str, float] = {}
+    if algorithm == "matching":
+        result = randomized_local_ratio_matching(graph, eta, rng)
+        metrics["iterations"] = float(result.num_iterations)
+    elif algorithm == "vertex-cover":
+        instance, _ = vertex_cover_instance(graph, rng)
+        result = randomized_local_ratio_set_cover(instance, eta, rng)
+        metrics["iterations"] = float(result.num_iterations)
+    else:
+        result = hungry_greedy_mis_improved(graph, mu, rng)
+        metrics["iterations"] = float(
+            sum(1 for s in result.iterations if s.phase.startswith("iteration"))
+        )
+        metrics["luby_rounds"] = float(luby_mis(graph, rng).num_iterations)
+    return ExperimentRecord(
+        experiment=f"scaling-n-{algorithm}",
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        metrics=metrics,
+        bounds={"iterations": c / mu},
+    )
+
+
 def rounds_vs_n(
     rng: np.random.Generator,
     *,
@@ -43,6 +85,9 @@ def rounds_vs_n(
     c: float = 0.45,
     mu: float = 0.3,
     algorithm: str = "matching",
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
     """Iteration count as ``n`` grows at fixed ``c`` and ``µ``.
 
@@ -51,33 +96,35 @@ def rounds_vs_n(
     """
     if algorithm not in ("matching", "vertex-cover", "mis"):
         raise ValueError("algorithm must be 'matching', 'vertex-cover' or 'mis'")
-    records: list[ExperimentRecord] = []
-    for n in sizes:
-        graph = densified_graph(n, c, rng, weights="uniform")
-        eta = default_eta_for_graph(graph, mu)
-        metrics: dict[str, float] = {}
-        if algorithm == "matching":
-            result = randomized_local_ratio_matching(graph, eta, rng)
-            metrics["iterations"] = float(result.num_iterations)
-        elif algorithm == "vertex-cover":
-            instance, _ = vertex_cover_instance(graph, rng)
-            result = randomized_local_ratio_set_cover(instance, eta, rng)
-            metrics["iterations"] = float(result.num_iterations)
-        else:
-            result = hungry_greedy_mis_improved(graph, mu, rng)
-            metrics["iterations"] = float(
-                sum(1 for s in result.iterations if s.phase.startswith("iteration"))
-            )
-            metrics["luby_rounds"] = float(luby_mis(graph, rng).num_iterations)
-        records.append(
-            ExperimentRecord(
-                experiment=f"scaling-n-{algorithm}",
-                parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
-                metrics=metrics,
-                bounds={"iterations": c / mu},
-            )
+    base = _base_seed(rng)
+    points = [
+        SweepPoint(
+            experiment=f"scaling-n-{algorithm}",
+            fn=_scaling_n_point,
+            kwargs={"n": int(n), "c": c, "mu": mu, "algorithm": algorithm},
+            seed=(base, index),
         )
-    return records
+        for index, n in enumerate(sizes)
+    ]
+    return sweep_records(run_sweep(points, backend=backend, jobs=jobs, cache=cache))
+
+
+def _scaling_c_point(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    c: float,
+    mu: float,
+) -> ExperimentRecord:
+    graph = densified_graph(n, c, rng, weights="uniform")
+    eta = default_eta_for_graph(graph, mu)
+    result = randomized_local_ratio_matching(graph, eta, rng)
+    return ExperimentRecord(
+        experiment="scaling-c-matching",
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        metrics={"iterations": float(result.num_iterations)},
+        bounds={"iterations": c / mu},
+    )
 
 
 def rounds_vs_c(
@@ -86,22 +133,43 @@ def rounds_vs_c(
     n: int = 130,
     cs: Sequence[float] = (0.3, 0.45, 0.6),
     mu: float = 0.25,
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
     """Matching iteration count as the densification exponent ``c`` grows."""
-    records: list[ExperimentRecord] = []
-    for c in cs:
-        graph = densified_graph(n, c, rng, weights="uniform")
-        eta = default_eta_for_graph(graph, mu)
-        result = randomized_local_ratio_matching(graph, eta, rng)
-        records.append(
-            ExperimentRecord(
-                experiment="scaling-c-matching",
-                parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
-                metrics={"iterations": float(result.num_iterations)},
-                bounds={"iterations": c / mu},
-            )
+    base = _base_seed(rng)
+    points = [
+        SweepPoint(
+            experiment="scaling-c-matching",
+            fn=_scaling_c_point,
+            kwargs={"n": n, "c": float(c), "mu": mu},
+            seed=(base, index),
         )
-    return records
+        for index, c in enumerate(cs)
+    ]
+    return sweep_records(run_sweep(points, backend=backend, jobs=jobs, cache=cache))
+
+
+def _space_mu_point(
+    rng: np.random.Generator,
+    *,
+    workload_seed: int,
+    n: int,
+    c: float,
+    mu: float,
+) -> ExperimentRecord:
+    workload_rng = np.random.default_rng(workload_seed)
+    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    eta = default_eta_for_graph(graph, mu)
+    result = randomized_local_ratio_matching(graph, eta, rng)
+    peak_sample = max((s.sample_words for s in result.iterations), default=0)
+    return ExperimentRecord(
+        experiment="scaling-space-matching",
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, "eta": eta},
+        metrics={"peak_sample_words": float(peak_sample)},
+        bounds={"peak_sample_words": 24.0 * n ** (1.0 + mu)},
+    )
 
 
 def space_vs_mu(
@@ -110,25 +178,26 @@ def space_vs_mu(
     n: int = 130,
     c: float = 0.45,
     mus: Sequence[float] = (0.15, 0.3, 0.5),
+    backend: Backend | str | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
     """Central-machine sample footprint of Algorithm 4 as ``µ`` grows.
 
     The per-round sample is capped at ``8η = 8·n^{1+µ}`` incidences, so the
     measured footprint should scale like ``n^{1+µ}`` (until the whole graph
-    fits in one sample).
+    fits in one sample).  The same graph (one ``workload_seed``) is reused
+    at every ``µ`` so footprints are comparable across the sweep.
     """
-    records: list[ExperimentRecord] = []
-    graph = densified_graph(n, c, rng, weights="uniform")
-    for mu in mus:
-        eta = default_eta_for_graph(graph, mu)
-        result = randomized_local_ratio_matching(graph, eta, rng)
-        peak_sample = max((s.sample_words for s in result.iterations), default=0)
-        records.append(
-            ExperimentRecord(
-                experiment="scaling-space-matching",
-                parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, "eta": eta},
-                metrics={"peak_sample_words": float(peak_sample)},
-                bounds={"peak_sample_words": 24.0 * n ** (1.0 + mu)},
-            )
+    workload_seed = _base_seed(rng)
+    base = _base_seed(rng)
+    points = [
+        SweepPoint(
+            experiment="scaling-space-matching",
+            fn=_space_mu_point,
+            kwargs={"workload_seed": workload_seed, "n": n, "c": c, "mu": float(mu)},
+            seed=(base, index),
         )
-    return records
+        for index, mu in enumerate(mus)
+    ]
+    return sweep_records(run_sweep(points, backend=backend, jobs=jobs, cache=cache))

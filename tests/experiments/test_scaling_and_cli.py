@@ -98,3 +98,67 @@ class TestCliExecution:
 
     def test_module_entry_point_importable(self):
         import repro.__main__  # noqa: F401  (import must not execute main)
+
+
+class TestCliBackends:
+    def test_backend_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.backend == "serial" and args.jobs is None and args.cache_dir is None
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--backend", "dask"])
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--jobs", "0"])
+
+    def test_jobs_without_mp_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure1", "--only", "fig1-mis", "--jobs", "4"])
+
+    def test_cache_dir_must_not_be_a_file(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--cache-dir", str(target)])
+
+    def test_scaling_subcommand_parses(self):
+        args = build_parser().parse_args(["scaling", "n", "--algorithm", "mis"])
+        assert args.command == "scaling" and args.sweep == "n" and args.algorithm == "mis"
+
+    def test_figure1_mp_jobs_smoke(self, capsys):
+        exit_code = main(
+            ["figure1", "--only", "fig1-vertex-colouring", "--seed", "3",
+             "--backend", "mp", "--jobs", "2", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload[0]["experiment"] == "fig1-vertex-colouring"
+
+    def test_figure1_mp_matches_serial(self, capsys):
+        argv = ["figure1", "--only", "fig1-vertex-colouring", "fig1-mis", "--seed", "3", "--json"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "mp", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_cache_dir_flag_skips_recomputation(self, capsys, tmp_path):
+        argv = ["scaling", "c", "--seed", "4", "--json", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*.json"))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_ablation_backend_batch(self, capsys):
+        exit_code = main(["ablation", "eta", "--seed", "4", "--backend", "batch", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert all("iterations" in item["metrics"] for item in payload)
+
+    def test_scaling_space_json(self, capsys):
+        exit_code = main(["scaling", "space", "--seed", "5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert all("peak_sample_words" in item["metrics"] for item in payload)
