@@ -1,0 +1,68 @@
+"""Kernel benchmarks: vectorized kernels vs retained pure-Python references.
+
+The same workloads the ``repro bench`` CLI subcommand runs (see
+:mod:`repro.kernels.bench`), exposed under pytest-benchmark so the
+kernel-vs-reference ratio shows up in the benchmark report next to the
+Figure-1 and backend numbers.  Each benchmark:
+
+* times the *kernel* path under ``benchmark.pedantic``;
+* measures the reference path once for the ratio, attaching
+  ``reference_seconds`` / ``speedup`` to ``extra_info``;
+* asserts the kernel output is identical to the reference output — a
+  mismatch is a correctness failure, not a perf regression;
+* for the two gated kernels (local-ratio matching, greedy set cover)
+  asserts the ≥3× speedup floor of ``repro.kernels.bench`` at n ≥ 2000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kernels.bench as kernel_bench
+from repro.kernels.bench import SPEEDUP_THRESHOLDS
+
+#: (benchmark point function, kwargs, record name) — quick-mode sizes; the
+#: gated entries keep n ≥ 2000 as the acceptance criterion requires.  The
+#: point functions are referenced through the module so pytest's ``bench_*``
+#: collection pattern does not pick them up as benchmarks themselves.
+GRID = [
+    (kernel_bench.bench_local_ratio_matching, {"n": 2048, "m": 8192}, "local-ratio-matching"),
+    (kernel_bench.bench_greedy_set_cover, {"num_sets": 2048, "num_elements": 1024}, "greedy-set-cover"),
+    (kernel_bench.bench_local_ratio_set_cover, {"num_sets": 2048, "num_elements": 1024}, "local-ratio-set-cover"),
+    (kernel_bench.bench_local_ratio_vertex_cover, {"n": 2048, "m": 8192}, "local-ratio-vertex-cover"),
+    (kernel_bench.bench_local_ratio_b_matching, {"n": 2048, "m": 8192}, "local-ratio-b-matching"),
+    (kernel_bench.bench_hungry_greedy_refresh, {"num_sets": 2048, "num_elements": 1024}, "hungry-greedy-refresh"),
+    (kernel_bench.bench_mis_state_update, {"n": 2048, "m": 8192}, "mis-state-update"),
+]
+
+
+def _run(benchmark, fn, kwargs, name, seed=2018):
+    def one_run():
+        rng = np.random.default_rng(seed)
+        return fn(rng, repeats=1, **kwargs)
+
+    record = benchmark.pedantic(one_run, rounds=2, iterations=1, warmup_rounds=1)
+    assert record["identical"], f"{name}: kernel output differs from its reference"
+    benchmark.extra_info.update(
+        {
+            "kernel": record["kernel"],
+            "sizes": record["sizes"],
+            "reference_seconds": round(record["reference_seconds"], 5),
+            "kernel_seconds": round(record["kernel_seconds"], 5),
+            "speedup": round(record["speedup"], 2),
+        }
+    )
+    floor = SPEEDUP_THRESHOLDS.get(name)
+    if floor is not None:
+        assert record["speedup"] >= floor, (
+            f"{name}: kernel speedup {record['speedup']:.2f}x below the "
+            f"{floor:.1f}x acceptance floor"
+        )
+    return record
+
+
+@pytest.mark.benchmark(group="kernels")
+@pytest.mark.parametrize("fn,kwargs,name", GRID, ids=[g[2] for g in GRID])
+def bench_kernel_vs_reference(benchmark, fn, kwargs, name):
+    _run(benchmark, fn, kwargs, name)

@@ -20,7 +20,10 @@ This package provides:
   approximation-ratio helpers, and the Figure-1 reproduction harness;
 * :mod:`repro.backends` — pluggable execution backends (serial,
   multiprocessing, batch) plus a disk result-cache, behind the single
-  :func:`repro.backends.run_sweep` entry point.
+  :func:`repro.backends.run_sweep` entry point;
+* :mod:`repro.kernels` — vectorized NumPy kernels for the algorithm hot
+  paths, byte-identical to the retained pure-Python references
+  (``docs/PERFORMANCE.md``), benchmarked by ``python -m repro bench``.
 
 Quickstart
 ----------
@@ -35,7 +38,17 @@ Quickstart
 True
 """
 
-from . import analysis, backends, baselines, core, experiments, graphs, mapreduce, setcover
+from . import (
+    analysis,
+    backends,
+    baselines,
+    core,
+    experiments,
+    graphs,
+    kernels,
+    mapreduce,
+    setcover,
+)
 from .backends import (
     BatchBackend,
     MultiprocessingBackend,

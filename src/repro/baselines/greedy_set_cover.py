@@ -7,6 +7,12 @@
   cost-effectiveness may be chosen; a ``(1 + ε)·H_∆``-approximation.  Used by
   tests to check that Algorithm 3's solutions are never worse than what the
   ε-greedy rule allows.
+
+Both keep their selection structure (lazy max-heap / full ε-bucket) but read
+``|S \\ C|`` from the incrementally maintained
+:class:`~repro.kernels.coverage.CoverageCounter` instead of rescanning each
+set's element list, which removes the interpreter-bound inner loops without
+changing a single returned bit.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import heapq
 import numpy as np
 
 from ..core.results import SetCoverResult
+from ..kernels import CoverageCounter
 from ..setcover.instance import SetCoverInstance
 
 __all__ = ["greedy_set_cover", "epsilon_greedy_set_cover", "harmonic_number"]
@@ -34,36 +41,50 @@ def greedy_set_cover(instance: SetCoverInstance) -> SetCoverResult:
     Uses a max-heap of cost-effectiveness values with lazy re-evaluation:
     because ``|S \\ C|`` only decreases over time, a popped entry whose value
     is stale can simply be re-pushed with its recomputed value.
+
+    When every weight is below ``10^10`` the heap is bypassed entirely: a
+    stale entry's stored value then exceeds its current value by at least
+    ``1/w > 10^{-10}``, far above the ``10^{-12}`` staleness tolerance, so
+    the lazy heap provably accepts exactly the set with the maximum current
+    effectiveness (smallest id on ties — the heap's ``(-value, id)`` order).
+    A vectorized argmax over the counter's residual counts selects the same
+    sequence without the per-pop Python heap traffic.
     """
     n, m = instance.num_sets, instance.num_elements
-    covered = np.zeros(m, dtype=bool)
     chosen: list[int] = []
-    if m == 0:
+    if m == 0 or n == 0:
         return SetCoverResult([], 0.0, algorithm="greedy-set-cover")
     weights = instance.weights
+    counter = CoverageCounter(instance)
 
-    def effectiveness(set_id: int) -> float:
-        elems = instance.set_elements(set_id)
-        if elems.size == 0:
-            return 0.0
-        return float(np.count_nonzero(~covered[elems])) / float(weights[set_id])
+    if float(weights.max()) < 1e10:
+        residual_counts = counter.residual_counts
+        ratios = np.empty(n, dtype=np.float64)
+        while counter.num_covered < m:
+            np.divide(residual_counts, weights, out=ratios)
+            best = int(np.argmax(ratios))
+            if ratios[best] <= 0.0:
+                break
+            chosen.append(best)
+            counter.add_set(best)
+        return SetCoverResult(
+            chosen, instance.cover_weight(chosen), algorithm="greedy-set-cover"
+        )
 
-    heap: list[tuple[float, int]] = [(-effectiveness(i), i) for i in range(n)]
+    # Initial effectiveness |S| / w for every set, in one vectorized pass.
+    initial = counter.residual_counts / weights
+    heap: list[tuple[float, int]] = [(-float(initial[i]), i) for i in range(n)]
     heapq.heapify(heap)
-    num_covered = 0
-    while num_covered < m and heap:
+    while not counter.all_covered() and heap:
         neg_value, set_id = heapq.heappop(heap)
-        current = effectiveness(set_id)
+        current = counter.uncovered_count(set_id) / float(weights[set_id])
         if current <= 0.0:
             continue
         if -neg_value > current + 1e-12:
             heapq.heappush(heap, (-current, set_id))
             continue
         chosen.append(set_id)
-        elems = instance.set_elements(set_id)
-        newly = ~covered[elems]
-        num_covered += int(np.count_nonzero(newly))
-        covered[elems] = True
+        counter.add_set(set_id)
     return SetCoverResult(
         chosen, instance.cover_weight(chosen), algorithm="greedy-set-cover"
     )
@@ -83,19 +104,11 @@ def epsilon_greedy_set_cover(
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
     n, m = instance.num_sets, instance.num_elements
-    covered = np.zeros(m, dtype=bool)
     chosen: list[int] = []
     weights = instance.weights
-    while m and not covered.all():
-        residual = np.array(
-            [
-                int(np.count_nonzero(~covered[instance.set_elements(i)]))
-                if instance.set_elements(i).size
-                else 0
-                for i in range(n)
-            ],
-            dtype=np.float64,
-        )
+    counter = CoverageCounter(instance)
+    while m and not counter.all_covered():
+        residual = counter.residual_counts.astype(np.float64)
         ratios = residual / weights
         best = float(ratios.max())
         if best <= 0.0:
@@ -103,9 +116,7 @@ def epsilon_greedy_set_cover(
         candidates = np.flatnonzero(ratios >= best / (1.0 + epsilon) - 1e-15)
         pick = int(candidates[rng.integers(0, candidates.size)])
         chosen.append(pick)
-        elems = instance.set_elements(pick)
-        if elems.size:
-            covered[elems] = True
+        counter.add_set(pick)
     return SetCoverResult(
         chosen, instance.cover_weight(chosen), algorithm="epsilon-greedy-set-cover"
     )

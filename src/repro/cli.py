@@ -1,6 +1,6 @@
 """Command-line interface for running the reproduction experiments.
 
-Installed as ``python -m repro``.  Four subcommands:
+Installed as ``python -m repro``.  Five subcommands:
 
 ``figure1``
     Run every (or selected) Figure-1 experiment and print the measured table
@@ -18,7 +18,15 @@ Installed as ``python -m repro``.  Four subcommands:
     Run one of the scaling sweeps (``n``, ``c`` or ``space``) and print the
     growth curve.
 
-Every subcommand accepts the execution-backend flags:
+``bench``
+    Time every vectorized kernel against its retained pure-Python reference
+    on the Figure-1 hot paths, write ``BENCH_kernels.json``, and fail when a
+    kernel's output differs from its reference or a gated kernel misses its
+    speedup floor (see ``docs/PERFORMANCE.md``).
+
+Every subcommand accepts the execution-backend flags (``bench`` restricts
+them: no ``mp``, no cache — concurrent or replayed wall-clock timings are
+not measurements):
 
 ``--backend {serial,mp,batch}``
     How to execute the sweep's independent points (default ``serial``);
@@ -37,6 +45,7 @@ Examples
     python -m repro experiment fig1-matching --seed 1
     python -m repro ablation mu --algorithm matching --backend mp
     python -m repro scaling n --algorithm mis
+    python -m repro bench --quick --output BENCH_kernels.json
 """
 
 from __future__ import annotations
@@ -161,6 +170,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scaling.add_argument("--json", action="store_true")
     _add_backend_options(scaling)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the vectorized kernels against their references"
+    )
+    bench.add_argument("--seed", type=int, default=2018)
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes / fewer repeats (still n ≥ 2000 on the gated kernels)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the JSON report (default: BENCH_kernels.json)",
+    )
+    bench.add_argument("--json", action="store_true", help="also print the report as JSON")
+    _add_backend_options(bench)
     return parser
 
 
@@ -243,6 +270,42 @@ def _run_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from .kernels.bench import DEFAULT_OUTPUT, run_kernel_bench, write_report
+
+    report = run_kernel_bench(
+        args.seed,
+        quick=args.quick,
+        strict=False,
+        backend=args.backend,
+        jobs=args.jobs,
+    )
+    write_report(report, args.output or DEFAULT_OUTPUT)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        rows = [
+            [
+                r["kernel"],
+                " ".join(f"{k}={v}" for k, v in r["sizes"].items()),
+                f"{r['reference_seconds'] * 1e3:.2f}",
+                f"{r['kernel_seconds'] * 1e3:.2f}",
+                f"{r['speedup']:.2f}x",
+                "OK" if r["identical"] else "MISMATCH",
+            ]
+            for r in report["results"]
+        ]
+        print(
+            format_table(
+                ["kernel", "sizes", "reference ms", "kernel ms", "speedup", "identical"],
+                rows,
+            )
+        )
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}")
+    return 0 if report["ok"] else 1
+
+
 def _run_scaling(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     kwargs = _backend_kwargs(args)
@@ -262,6 +325,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.backend != "mp":
         parser.error("--jobs is only meaningful with --backend mp")
+    if args.command == "bench" and args.backend == "mp":
+        # Concurrent workers contend for cores, so each worker's wall-clock
+        # timings absorb the others' preemptions — the measured ratios stop
+        # meaning anything.  Timing sweeps must run uncontended.
+        parser.error("bench measures wall-clock; use --backend serial or batch")
+    if args.command == "bench" and args.cache_dir is not None:
+        # A cache hit would replay a previous run's timings as if they were
+        # fresh measurements.
+        parser.error("bench measures wall-clock; results must not be cached")
     if args.command == "figure1":
         return _run_figure1(args)
     if args.command == "experiment":
@@ -270,6 +342,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_ablation(args)
     if args.command == "scaling":
         return _run_scaling(args)
+    if args.command == "bench":
+        return _run_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graphs.graph import Graph
+from ...kernels import greedy_mis_pass
 from ..results import IndependentSetResult, IterationStats
 from .state import MISState
 
@@ -39,7 +40,9 @@ def sequential_greedy_mis(
     Scans the candidates in the given order and adds every vertex that is not
     yet blocked, blocking its neighbours.  Used for the "finish on the
     central machine" steps of Algorithms 2 and 6 and as a standalone
-    sequential baseline.  Returns only the newly added vertices.
+    sequential baseline.  Returns only the newly added vertices.  The scan
+    runs through the batched :func:`~repro.kernels.mis.greedy_mis_pass`
+    kernel (byte-identical to the per-vertex loop it replaced).
     """
     n = graph.num_vertices
     blocked = np.zeros(n, dtype=bool) if blocked is None else blocked.copy()
@@ -47,16 +50,9 @@ def sequential_greedy_mis(
         candidates = np.arange(n)
     if order is not None:
         candidates = np.asarray(order, dtype=np.int64)
+    adj_indptr, adj_indices = graph.adjacency()
     added: list[int] = []
-    for v in candidates:
-        v = int(v)
-        if blocked[v]:
-            continue
-        added.append(v)
-        blocked[v] = True
-        neigh = graph.neighbors(v)
-        if neigh.size:
-            blocked[neigh] = True
+    greedy_mis_pass(adj_indptr, adj_indices, candidates, blocked, added)
     return added
 
 

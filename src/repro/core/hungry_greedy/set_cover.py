@@ -14,6 +14,12 @@ still-useful set per group (Lines 10–22).  Lemma 4.3 shows the potential
 ``Φ_k = Σ_{almost-optimal ℓ} |S_ℓ \\ C_k|`` shrinks by ``m^{µ/8}`` per
 iteration, giving the round bound of Theorem 4.6.
 
+The residual counts ``|S_ℓ \\ C|`` are maintained incrementally by
+:class:`~repro.kernels.coverage.CoverageCounter` (one CSR gather plus a
+``bincount`` per insertion) instead of rescanning every set per bucket
+refresh; the counts are integers, so results are byte-identical to the
+rescanning implementation.
+
 The result is a ``(1 + ε)·H_∆``-approximate minimum weight set cover, where
 ``∆`` is the largest set size and ``H_∆ ≈ ln ∆``.
 """
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import CoverageCounter
 from ...mapreduce.exceptions import AlgorithmFailureError
 from ...setcover.instance import SetCoverInstance
 from ..results import IterationStats, SetCoverResult
@@ -46,11 +53,16 @@ def preprocess_weights(
     if m == 0 or n == 0:
         return np.ones(n, dtype=bool), [], np.float64(0.0)
     weights = instance.weights
-    gamma = 0.0
-    for j in range(m):
-        owners = instance.sets_containing(j)
-        if owners.size:
-            gamma = max(gamma, float(weights[owners].min()))
+    indptr, indices = instance.element_incidence()
+    frequencies = np.diff(indptr)
+    nonempty_starts = indptr[:-1][frequencies > 0]
+    if nonempty_starts.size:
+        # Per-element cheapest owner, one reduceat over the dual index
+        # (empty segments have zero width, so nonempty starts tile the flat
+        # array exactly).
+        gamma = float(np.minimum.reduceat(weights[indices], nonempty_starts).max())
+    else:
+        gamma = 0.0
     forced = [int(i) for i in np.flatnonzero(weights <= gamma * epsilon / max(1, n))]
     usable = weights <= m * gamma + 1e-12
     if forced:
@@ -113,34 +125,22 @@ def hungry_greedy_set_cover(
         )
 
     weights = instance.weights
-    covered = np.zeros(m, dtype=bool)
+    counter = CoverageCounter(instance)
     chosen: list[int] = []
     chosen_mask = np.zeros(n, dtype=bool)
     iterations: list[IterationStats] = []
     usable = np.ones(n, dtype=bool)
 
+    def add_set(set_id: int) -> None:
+        chosen_mask[set_id] = True
+        chosen.append(set_id)
+        counter.add_set(set_id)
+
     if preprocess:
         usable, forced, _ = preprocess_weights(instance, epsilon)
         for set_id in forced:
             if not chosen_mask[set_id]:
-                chosen_mask[set_id] = True
-                chosen.append(set_id)
-                elems = instance.set_elements(set_id)
-                if elems.size:
-                    covered[elems] = True
-
-    def uncovered_count(set_id: int) -> int:
-        elems = instance.set_elements(set_id)
-        if elems.size == 0:
-            return 0
-        return int(np.count_nonzero(~covered[elems]))
-
-    def add_set(set_id: int) -> None:
-        chosen_mask[set_id] = True
-        chosen.append(set_id)
-        elems = instance.set_elements(set_id)
-        if elems.size:
-            covered[elems] = True
+                add_set(set_id)
 
     # Initial threshold L = max_ℓ |S_ℓ| / w_ℓ.
     ratios = instance.set_sizes / weights
@@ -149,15 +149,12 @@ def hungry_greedy_set_cover(
     min_useful_ratio = None
     total_iterations = 0
 
-    while not covered.all():
+    while not counter.all_covered():
         if L <= 0:
             raise AlgorithmFailureError("threshold L reached zero with uncovered elements left")
         # Inner while loop: exhaust the bucket of sets with ratio ≥ L/(1+ε).
         while True:
-            residual = np.array(
-                [uncovered_count(i) if usable[i] and not chosen_mask[i] else 0 for i in range(n)],
-                dtype=np.int64,
-            )
+            residual = np.where(usable & ~chosen_mask, counter.residual_counts, 0)
             current_ratio = residual / weights
             bucket = np.flatnonzero(current_ratio >= L / (1.0 + epsilon) - 1e-15)
             if bucket.size == 0:
@@ -192,12 +189,12 @@ def hungry_greedy_set_cover(
                         # remaining groups (Claim 4.1 makes this negligible).
                         break
                     sampled_total += int(group.size)
-                    sample_words += int(sum(instance.set_sizes[g] for g in group))
+                    sample_words += int(instance.set_sizes[group].sum())
                     for candidate in group:
                         candidate = int(candidate)
                         if chosen_mask[candidate]:
                             continue
-                        live = uncovered_count(candidate)
+                        live = counter.uncovered_count(candidate)
                         if (
                             live >= selection_threshold
                             and live / weights[candidate] >= L / (1.0 + epsilon) - 1e-15
@@ -219,14 +216,14 @@ def hungry_greedy_set_cover(
                 # Guarantee progress even when every group missed (relevant
                 # only at the small sizes used in tests): take the best set in
                 # the bucket directly.  This is still an ε-greedy step.
-                live_counts = np.array([uncovered_count(int(i)) for i in bucket])
+                live_counts = counter.residual_counts[bucket]
                 ratios_now = live_counts / weights[bucket]
                 best = int(bucket[int(np.argmax(ratios_now))])
                 if ratios_now.max() >= L / (1.0 + epsilon) - 1e-15 and not chosen_mask[best]:
                     add_set(best)
                 else:
                     break
-        if covered.all():
+        if counter.all_covered():
             break
         L /= 1.0 + epsilon
         # Terminate surely: once L drops below the smallest useful ratio the
@@ -236,7 +233,7 @@ def hungry_greedy_set_cover(
             positive = ratios[ratios > 0]
             min_useful_ratio = float(positive.min()) if positive.size else 0.0
         if L < min_useful_ratio / (4.0 * (1.0 + epsilon)):
-            for j in np.flatnonzero(~covered):
+            for j in np.flatnonzero(~counter.covered):
                 owners = instance.sets_containing(int(j))
                 owners = owners[usable[owners]] if owners.size else owners
                 if owners.size == 0:

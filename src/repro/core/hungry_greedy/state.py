@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graphs.graph import Graph
+from ...kernels import blocked_degree_decrements
 
 __all__ = ["MISState"]
 
@@ -48,21 +49,16 @@ class MISState:
         if self.blocked[v]:
             raise ValueError(f"vertex {v} is already blocked and cannot join the independent set")
         self.in_set[v] = True
-        newly_blocked = [v]
-        for w in self.graph.neighbors(v):
-            w = int(w)
-            if not self.blocked[w]:
-                newly_blocked.append(w)
-        for w in newly_blocked:
-            self.blocked[w] = True
+        neighbours = self.graph.neighbors(v)
+        unblocked_neighbours = neighbours[~self.blocked[neighbours]] if neighbours.size else neighbours
+        newly_blocked = np.concatenate(([v], unblocked_neighbours)).astype(np.int64)
+        self.blocked[newly_blocked] = True
         # Each unblocked neighbour of a newly blocked vertex loses one
         # residual neighbour; blocked vertices themselves drop to degree 0.
-        for w in newly_blocked:
-            for x in self.graph.neighbors(w):
-                x = int(x)
-                if not self.blocked[x]:
-                    self.degrees[x] -= 1
-            self.degrees[w] = 0
+        adj_indptr, adj_indices = self.graph.adjacency()
+        blocked_degree_decrements(
+            adj_indptr, adj_indices, newly_blocked, self.blocked, self.degrees
+        )
 
     def add_all(self, vertices) -> None:
         """Add every (still unblocked) vertex in ``vertices`` to ``I``."""

@@ -24,22 +24,12 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ...graphs.graph import Graph
+from ...kernels import capacity_array
 from ...mapreduce.exceptions import AlgorithmFailureError
 from ..results import IterationStats, MatchingResult
 from .sequential import unwind_b_matching_stack
 
 __all__ = ["randomized_local_ratio_b_matching"]
-
-
-def _capacity_array(graph: Graph, b: Mapping[int, int] | Sequence[int] | int) -> np.ndarray:
-    if isinstance(b, Mapping):
-        return np.array([int(b.get(v, 1)) for v in range(graph.num_vertices)], dtype=np.int64)
-    if np.isscalar(b):
-        return np.full(graph.num_vertices, int(b), dtype=np.int64)  # type: ignore[arg-type]
-    arr = np.asarray(b, dtype=np.int64)
-    if arr.shape != (graph.num_vertices,):
-        raise ValueError("capacity vector must have one entry per vertex")
-    return arr
 
 
 def randomized_local_ratio_b_matching(
@@ -81,7 +71,7 @@ def randomized_local_ratio_b_matching(
         raise ValueError("eta must be positive")
     if epsilon <= 0:
         raise ValueError("epsilon must be positive for the ε-adjusted reduction")
-    capacities = _capacity_array(graph, b)
+    capacities = capacity_array(graph.num_vertices, b)
     if np.any(capacities < 1):
         raise ValueError("all capacities must be at least 1")
 
@@ -142,16 +132,13 @@ def randomized_local_ratio_b_matching(
             # are skipped without consuming the push budget; once the largest
             # residual is non-positive every remaining candidate at v is dead.
             budget = int(pushes_per_vertex[v]) if not full_sample else candidates.size
-            remaining = list(candidates)
+            remaining = np.asarray(candidates, dtype=np.int64)
             pushes_done = 0
-            while remaining and pushes_done < budget:
-                res = np.array(
-                    [
-                        -np.inf
-                        if on_stack[e]
-                        else weights[e] - phi[edge_u[e]] - phi[edge_v[e]]
-                        for e in remaining
-                    ]
+            while remaining.size and pushes_done < budget:
+                res = np.where(
+                    on_stack[remaining],
+                    -np.inf,
+                    weights[remaining] - phi[edge_u[remaining]] - phi[edge_v[remaining]],
                 )
                 best_pos = int(np.argmax(res))
                 best_edge = int(remaining[best_pos])
@@ -163,7 +150,7 @@ def randomized_local_ratio_b_matching(
                 )
                 if weights[best_edge] <= dead_threshold + 1e-12:
                     # Dead under the ε-adjusted rule: drop it and keep looking.
-                    remaining.pop(best_pos)
+                    remaining = np.delete(remaining, best_pos)
                     continue
                 uu, vv = int(edge_u[best_edge]), int(edge_v[best_edge])
                 phi[uu] += best_res / capacities[uu]
@@ -172,7 +159,7 @@ def randomized_local_ratio_b_matching(
                 stack.append(best_edge)
                 pushed_this_round += 1
                 pushes_done += 1
-                remaining.pop(best_pos)
+                remaining = np.delete(remaining, best_pos)
 
         iterations.append(
             IterationStats(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graphs.graph import Graph
+from ...kernels import central_matching_pass
 from ...mapreduce.exceptions import AlgorithmFailureError
 from ..results import IterationStats, MatchingResult
 from .sequential import unwind_matching_stack
@@ -142,30 +143,10 @@ def randomized_local_ratio_matching(
         boundaries = np.searchsorted(sample_hosts, np.arange(n + 1))
 
         # Central machine: walk the vertices, pick the heaviest sampled edge
-        # with positive residual weight, reduce, push.
-        pushed_this_round = 0
-        for v in range(n):
-            lo, hi = boundaries[v], boundaries[v + 1]
-            if lo == hi:
-                continue
-            candidate_edges = sample_edges[lo:hi]
-            residuals = (
-                weights[candidate_edges]
-                - phi[edge_u[candidate_edges]]
-                - phi[edge_v[candidate_edges]]
-            )
-            # Already-pushed edges are dead regardless of their residual sign.
-            residuals = np.where(on_stack[candidate_edges], -np.inf, residuals)
-            best = int(np.argmax(residuals))
-            if residuals[best] <= 1e-12:
-                continue
-            edge = int(candidate_edges[best])
-            reduction = float(residuals[best])
-            phi[edge_u[edge]] += reduction
-            phi[edge_v[edge]] += reduction
-            on_stack[edge] = True
-            stack.append(edge)
-            pushed_this_round += 1
+        # with positive residual weight, reduce, push (batched kernel).
+        pushed_this_round = central_matching_pass(
+            edge_u, edge_v, weights, phi, on_stack, sample_edges, boundaries, stack
+        )
 
         iterations.append(
             IterationStats(

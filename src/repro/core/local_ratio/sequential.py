@@ -28,6 +28,11 @@ variants can reuse the identical weight-reduction code with the order
 induced by their random samples — this is exactly the property ("elements
 can be processed in a fairly arbitrary order") that the paper's randomized
 local ratio technique exploits.
+
+The weight-reduction loops themselves live in :mod:`repro.kernels`: the
+batched NumPy kernels produce byte-identical results to the pure-Python
+loops retained in :mod:`repro.kernels.reference` (golden tests enforce
+this), so these functions are thin drivers around instance/graph state.
 """
 
 from __future__ import annotations
@@ -37,6 +42,15 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ...graphs.graph import Graph
+from ...kernels import (
+    b_matching_reduction,
+    capacity_array,
+    matching_reduction,
+    set_cover_reduction,
+    unwind_b_matching,
+    unwind_matching,
+    vertex_cover_reduction,
+)
 from ...setcover.instance import SetCoverInstance
 from ..results import MatchingResult, SetCoverResult
 
@@ -83,28 +97,23 @@ def local_ratio_set_cover(
     m = instance.num_elements
     if order is None:
         order = np.arange(m) if rng is None else rng.permutation(m)
+    elem_indptr, elem_indices = instance.element_incidence()
+    set_indptr, set_indices = instance.set_incidence()
     residual = instance.weights.astype(np.float64).copy()
     chosen: list[int] = []
     in_cover = np.zeros(instance.num_sets, dtype=bool)
     covered = np.zeros(m, dtype=bool)
-    for element in np.asarray(order, dtype=np.int64):
-        if covered[element]:
-            continue
-        owners = instance.sets_containing(int(element))
-        if owners.size == 0:
-            continue
-        # All owners have positive residual weight here: otherwise some owner
-        # would already be in the cover and the element would be covered.
-        eps = float(residual[owners].min())
-        residual[owners] -= eps
-        newly_zero = owners[residual[owners] <= 1e-12]
-        for set_id in newly_zero:
-            if not in_cover[set_id]:
-                in_cover[set_id] = True
-                chosen.append(int(set_id))
-                elems = instance.set_elements(int(set_id))
-                if elems.size:
-                    covered[elems] = True
+    set_cover_reduction(
+        elem_indptr,
+        elem_indices,
+        set_indptr,
+        set_indices,
+        residual,
+        covered,
+        in_cover,
+        np.asarray(order, dtype=np.int64),
+        chosen,
+    )
     weight = instance.cover_weight(chosen)
     return SetCoverResult(chosen, weight, algorithm="local-ratio-sequential")
 
@@ -132,17 +141,14 @@ def local_ratio_vertex_cover(
     residual = weights.copy()
     in_cover = np.zeros(graph.num_vertices, dtype=bool)
     chosen: list[int] = []
-    for edge in np.asarray(order, dtype=np.int64):
-        u, v = graph.edge_endpoints(int(edge))
-        if in_cover[u] or in_cover[v]:
-            continue
-        eps = float(min(residual[u], residual[v]))
-        residual[u] -= eps
-        residual[v] -= eps
-        for vertex in (u, v):
-            if residual[vertex] <= 1e-12 and not in_cover[vertex]:
-                in_cover[vertex] = True
-                chosen.append(int(vertex))
+    vertex_cover_reduction(
+        graph.edge_u,
+        graph.edge_v,
+        residual,
+        in_cover,
+        np.asarray(order, dtype=np.int64),
+        chosen,
+    )
     weight = float(weights[np.asarray(chosen, dtype=np.int64)].sum()) if chosen else 0.0
     return SetCoverResult(chosen, weight, algorithm="local-ratio-vertex-cover-sequential")
 
@@ -152,15 +158,7 @@ def local_ratio_vertex_cover(
 # --------------------------------------------------------------------------- #
 def unwind_matching_stack(graph: Graph, stack: Sequence[int]) -> list[int]:
     """Unwind a local ratio stack, greedily adding vertex-disjoint edges (LIFO)."""
-    matched = np.zeros(graph.num_vertices, dtype=bool)
-    matching: list[int] = []
-    for edge_id in reversed(list(stack)):
-        u, v = graph.edge_endpoints(int(edge_id))
-        if not matched[u] and not matched[v]:
-            matched[u] = True
-            matched[v] = True
-            matching.append(int(edge_id))
-    return matching
+    return unwind_matching(graph.edge_u, graph.edge_v, graph.num_vertices, stack)
 
 
 def local_ratio_matching(
@@ -184,14 +182,14 @@ def local_ratio_matching(
     # phi[v] = total weight reduction applied to edges incident to v.
     phi = np.zeros(graph.num_vertices, dtype=np.float64)
     stack: list[int] = []
-    for edge in np.asarray(order, dtype=np.int64):
-        u, v = graph.edge_endpoints(int(edge))
-        residual = graph.edge_weight(int(edge)) - phi[u] - phi[v]
-        if residual <= 1e-12:
-            continue
-        phi[u] += residual
-        phi[v] += residual
-        stack.append(int(edge))
+    matching_reduction(
+        graph.edge_u,
+        graph.edge_v,
+        graph.weights,
+        phi,
+        np.asarray(order, dtype=np.int64),
+        stack,
+    )
     matching = unwind_matching_stack(graph, stack)
     weight = float(graph.weights[np.asarray(matching, dtype=np.int64)].sum()) if matching else 0.0
     return MatchingResult(
@@ -202,30 +200,11 @@ def local_ratio_matching(
 # --------------------------------------------------------------------------- #
 # Maximum weight b-matching (Appendix D)
 # --------------------------------------------------------------------------- #
-def _capacity_array(graph: Graph, b: Mapping[int, int] | Sequence[int] | int) -> np.ndarray:
-    if isinstance(b, Mapping):
-        return np.array([int(b.get(v, 1)) for v in range(graph.num_vertices)], dtype=np.int64)
-    if np.isscalar(b):
-        return np.full(graph.num_vertices, int(b), dtype=np.int64)  # type: ignore[arg-type]
-    arr = np.asarray(b, dtype=np.int64)
-    if arr.shape != (graph.num_vertices,):
-        raise ValueError("capacity vector must have one entry per vertex")
-    return arr
-
-
 def unwind_b_matching_stack(
     graph: Graph, stack: Sequence[int], capacities: np.ndarray
 ) -> list[int]:
     """Unwind a b-matching stack, adding edges while both endpoints have capacity."""
-    remaining = capacities.astype(np.int64).copy()
-    chosen: list[int] = []
-    for edge_id in reversed(list(stack)):
-        u, v = graph.edge_endpoints(int(edge_id))
-        if remaining[u] > 0 and remaining[v] > 0:
-            remaining[u] -= 1
-            remaining[v] -= 1
-            chosen.append(int(edge_id))
-    return chosen
+    return unwind_b_matching(graph.edge_u, graph.edge_v, stack, capacities)
 
 
 def local_ratio_b_matching(
@@ -246,7 +225,7 @@ def local_ratio_b_matching(
     """
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
-    capacities = _capacity_array(graph, b)
+    capacities = capacity_array(graph.num_vertices, b)
     if np.any(capacities < 1):
         raise ValueError("all capacities must be at least 1")
     m = graph.num_edges
@@ -254,15 +233,16 @@ def local_ratio_b_matching(
         order = np.arange(m) if rng is None else rng.permutation(m)
     phi = np.zeros(graph.num_vertices, dtype=np.float64)
     stack: list[int] = []
-    for edge in np.asarray(order, dtype=np.int64):
-        u, v = graph.edge_endpoints(int(edge))
-        w = graph.edge_weight(int(edge))
-        if w <= (1.0 + epsilon) * (phi[u] + phi[v]) + 1e-12:
-            continue
-        residual = w - phi[u] - phi[v]
-        phi[u] += residual / capacities[u]
-        phi[v] += residual / capacities[v]
-        stack.append(int(edge))
+    b_matching_reduction(
+        graph.edge_u,
+        graph.edge_v,
+        graph.weights,
+        capacities,
+        float(epsilon),
+        phi,
+        np.asarray(order, dtype=np.int64),
+        stack,
+    )
     chosen = unwind_b_matching_stack(graph, stack, capacities)
     weight = float(graph.weights[np.asarray(chosen, dtype=np.int64)].sum()) if chosen else 0.0
     return MatchingResult(

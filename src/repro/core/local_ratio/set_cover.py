@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import set_cover_reduction
 from ...mapreduce.exceptions import AlgorithmFailureError
 from ...setcover.instance import SetCoverInstance
 from ..results import IterationStats, SetCoverResult
@@ -89,6 +90,9 @@ def randomized_local_ratio_set_cover(
     if max_iterations is None:
         max_iterations = 4 + 4 * int(np.ceil(np.log2(m + 2)))
 
+    elem_indptr, elem_indices = instance.element_incidence()
+    set_indptr, set_indices = instance.set_incidence()
+    element_frequencies = np.diff(elem_indptr)
     residual = instance.weights.astype(np.float64).copy()
     in_cover = np.zeros(n, dtype=bool)
     covered = np.zeros(m, dtype=bool)
@@ -98,26 +102,17 @@ def randomized_local_ratio_set_cover(
 
     def run_local_ratio_on(sample: np.ndarray) -> int:
         """Continue the global local ratio computation on the sampled elements."""
-        selected_before = len(chosen)
-        for element in sample:
-            element = int(element)
-            if covered[element]:
-                continue
-            owners = instance.sets_containing(element)
-            if owners.size == 0:
-                continue
-            eps = float(residual[owners].min())
-            residual[owners] -= eps
-            newly_zero = owners[residual[owners] <= 1e-12]
-            for set_id in newly_zero:
-                set_id = int(set_id)
-                if not in_cover[set_id]:
-                    in_cover[set_id] = True
-                    chosen.append(set_id)
-                    elems = instance.set_elements(set_id)
-                    if elems.size:
-                        covered[elems] = True
-        return len(chosen) - selected_before
+        return set_cover_reduction(
+            elem_indptr,
+            elem_indices,
+            set_indptr,
+            set_indices,
+            residual,
+            covered,
+            in_cover,
+            sample,
+            chosen,
+        )
 
     alive = np.flatnonzero(~covered)
     iteration = 0
@@ -152,7 +147,7 @@ def randomized_local_ratio_set_cover(
         # accidental bias from element numbering.
         order = rng.permutation(sampled) if sampled.size else sampled
         selected = run_local_ratio_on(order)
-        sample_words = int(sum(instance.sets_containing(int(j)).size for j in sampled))
+        sample_words = int(element_frequencies[sampled].sum()) if sampled.size else 0
         iterations.append(
             IterationStats(
                 iteration=iteration,

@@ -151,6 +151,22 @@ class Graph:
         self._adj_indices = dst.astype(np.int64)
         self._adj_edge_ids = eid.astype(np.int64)
 
+    def adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """The CSR adjacency pair: ``indices[indptr[v]:indptr[v+1]]`` are ``N(v)``.
+
+        This is the flat view the vectorized kernels gather from; it is the
+        same lazily-built index ``neighbors`` slices.
+        """
+        self._build_adjacency()
+        assert self._adj_indptr is not None and self._adj_indices is not None
+        return self._adj_indptr, self._adj_indices
+
+    def incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """The CSR incidence pair: ``edge_ids[indptr[v]:indptr[v+1]]`` are ``v``'s edges."""
+        self._build_adjacency()
+        assert self._adj_indptr is not None and self._adj_edge_ids is not None
+        return self._adj_indptr, self._adj_edge_ids
+
     def degrees(self) -> np.ndarray:
         """Return the degree of every vertex as an ``(n,)`` array."""
         self._build_adjacency()

@@ -1,0 +1,418 @@
+"""Kernel benchmark harness — the ``repro bench`` subcommand.
+
+Times every vectorized kernel against its retained pure-Python reference on
+the Figure-1 hot-path workloads, verifies the outputs are identical, and
+emits a machine-readable report (``BENCH_kernels.json``).  The evaluations
+run through :func:`repro.backends.run_sweep` like every other sweep in the
+repository — but only on non-concurrent backends, and never cached: a
+timing point measured while other workers contend for the core, or
+replayed from a cache, is not a measurement (the CLI rejects ``--backend
+mp`` and ``--cache-dir`` for this subcommand).
+
+The report is the perf-regression baseline the CI perf-smoke job uploads:
+``results[*].speedup`` trends the kernel-vs-reference ratio per algorithm,
+and the harness *fails* (non-zero exit / raised assertion) when a kernel
+disagrees with its reference or when the named kernels fall below their
+minimum speedups (≥3× for local-ratio matching and greedy set cover at
+``n ≥ 2000``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..backends import SweepPoint, run_sweep, sweep_records
+from ..graphs.generators import gnm_graph
+from ..setcover.generators import random_coverage_instance, random_frequency_bounded_instance
+from . import (
+    CoverageCounter,
+    b_matching_reduction,
+    blocked_degree_decrements,
+    matching_reduction,
+    set_cover_reduction,
+    unwind_matching,
+    vertex_cover_reduction,
+)
+from .reference import (
+    b_matching_reduction_reference,
+    blocked_degree_decrements_reference,
+    greedy_set_cover_reference,
+    matching_reduction_reference,
+    set_cover_reduction_reference,
+    uncovered_counts_reference,
+    unwind_matching_reference,
+    vertex_cover_reduction_reference,
+)
+
+__all__ = ["run_kernel_bench", "KernelBenchError", "SPEEDUP_THRESHOLDS", "DEFAULT_OUTPUT"]
+
+#: Report file name (repository root by convention).
+DEFAULT_OUTPUT = "BENCH_kernels.json"
+
+#: Minimum kernel-vs-reference speedups asserted by the harness.  Keyed by
+#: benchmark name; only benchmarks listed here are gated — the others are
+#: reported for trending.
+SPEEDUP_THRESHOLDS: dict[str, float] = {
+    "local-ratio-matching": 3.0,
+    "greedy-set-cover": 3.0,
+}
+
+
+class KernelBenchError(AssertionError):
+    """A kernel disagreed with its reference or missed its speedup floor."""
+
+
+def _time_pair(
+    reference_fn: Callable[[], Any], kernel_fn: Callable[[], Any], repeats: int
+) -> tuple[float, Any, float, Any]:
+    """Best-of-``repeats`` wall-times for both paths, *interleaved*.
+
+    Alternating reference and kernel runs inside each repeat keeps the
+    measured ratio honest when the machine is loaded (e.g. ``--backend mp``
+    workers sharing cores): a load spike hits both sides, not just one.
+    Returns ``(reference_seconds, reference_result, kernel_seconds,
+    kernel_result)``.
+    """
+    best_reference = best_kernel = float("inf")
+    reference_result: Any = None
+    kernel_result: Any = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        reference_result = reference_fn()
+        best_reference = min(best_reference, time.perf_counter() - start)
+        start = time.perf_counter()
+        kernel_result = kernel_fn()
+        best_kernel = min(best_kernel, time.perf_counter() - start)
+    return best_reference, reference_result, best_kernel, kernel_result
+
+
+def _record(
+    name: str,
+    sizes: Mapping[str, int],
+    reference_seconds: float,
+    kernel_seconds: float,
+    identical: bool,
+) -> dict[str, Any]:
+    return {
+        "kernel": name,
+        "sizes": dict(sizes),
+        "reference_seconds": reference_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": reference_seconds / kernel_seconds if kernel_seconds > 0 else float("inf"),
+        "identical": bool(identical),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark point functions (module-level: run_sweep pickles them by reference)
+# --------------------------------------------------------------------------- #
+def bench_local_ratio_matching(
+    rng: np.random.Generator, *, n: int, m: int, repeats: int
+) -> dict[str, Any]:
+    """Paz–Schwartzman reduction + unwind: batched kernel vs per-edge loop."""
+    graph = gnm_graph(n, m, rng, weights="uniform")
+    order = rng.permutation(graph.num_edges)
+    edge_u, edge_v, weights = graph.edge_u, graph.edge_v, graph.weights
+
+    def reference() -> tuple[list[int], np.ndarray, list[int]]:
+        phi = np.zeros(n, dtype=np.float64)
+        stack: list[int] = []
+        matching_reduction_reference(edge_u, edge_v, weights, phi, order, stack)
+        return stack, phi, unwind_matching_reference(edge_u, edge_v, n, stack)
+
+    def kernel() -> tuple[list[int], np.ndarray, list[int]]:
+        phi = np.zeros(n, dtype=np.float64)
+        stack: list[int] = []
+        matching_reduction(edge_u, edge_v, weights, phi, order, stack)
+        return stack, phi, unwind_matching(edge_u, edge_v, n, stack)
+
+    ref_seconds, (ref_stack, ref_phi, ref_matching), ker_seconds, (
+        ker_stack, ker_phi, ker_matching
+    ) = _time_pair(reference, kernel, repeats)
+    identical = (
+        ref_stack == ker_stack
+        and ref_matching == ker_matching
+        and np.array_equal(ref_phi, ker_phi)
+    )
+    return _record(
+        "local-ratio-matching", {"n": n, "m": m}, ref_seconds, ker_seconds, identical
+    )
+
+
+def bench_greedy_set_cover(
+    rng: np.random.Generator, *, num_sets: int, num_elements: int, repeats: int
+) -> dict[str, Any]:
+    """Chvátal greedy: CoverageCounter-backed lazy heap vs rescanning lazy heap."""
+    from ..baselines.greedy_set_cover import greedy_set_cover
+
+    instance = random_coverage_instance(num_sets, num_elements, rng, density=0.01)
+    instance.element_incidence()  # build the index outside the timed region
+
+    ref_seconds, ref_chosen, ker_seconds, ker_result = _time_pair(
+        lambda: greedy_set_cover_reference(instance), lambda: greedy_set_cover(instance), repeats
+    )
+    identical = ref_chosen == ker_result.chosen_sets
+    return _record(
+        "greedy-set-cover",
+        {"n": num_sets, "m": num_elements},
+        ref_seconds,
+        ker_seconds,
+        identical,
+    )
+
+
+def bench_local_ratio_set_cover(
+    rng: np.random.Generator, *, num_sets: int, num_elements: int, repeats: int
+) -> dict[str, Any]:
+    """Bar-Yehuda–Even reduction: batched CSR kernel vs per-element loop."""
+    instance = random_frequency_bounded_instance(num_sets, num_elements, 6, rng)
+    elem_indptr, elem_indices = instance.element_incidence()
+    set_indptr, set_indices = instance.set_incidence()
+    order = rng.permutation(num_elements)
+    base_weights = instance.weights.astype(np.float64)
+
+    def run(reduction: Callable[..., int]) -> tuple[list[int], np.ndarray]:
+        residual = base_weights.copy()
+        covered = np.zeros(num_elements, dtype=bool)
+        in_cover = np.zeros(num_sets, dtype=bool)
+        chosen: list[int] = []
+        reduction(
+            elem_indptr, elem_indices, set_indptr, set_indices,
+            residual, covered, in_cover, order, chosen,
+        )
+        return chosen, residual
+
+    ref_seconds, (ref_chosen, ref_residual), ker_seconds, (ker_chosen, ker_residual) = (
+        _time_pair(
+            lambda: run(set_cover_reduction_reference),
+            lambda: run(set_cover_reduction),
+            repeats,
+        )
+    )
+    identical = ref_chosen == ker_chosen and np.array_equal(ref_residual, ker_residual)
+    return _record(
+        "local-ratio-set-cover",
+        {"n": num_sets, "m": num_elements},
+        ref_seconds,
+        ker_seconds,
+        identical,
+    )
+
+
+def bench_local_ratio_vertex_cover(
+    rng: np.random.Generator, *, n: int, m: int, repeats: int
+) -> dict[str, Any]:
+    """Vertex cover reduction (f = 2): batched kernel vs per-edge loop."""
+    graph = gnm_graph(n, m, rng)
+    vertex_weights = rng.uniform(1.0, 10.0, n)
+    order = rng.permutation(m)
+    edge_u, edge_v = graph.edge_u, graph.edge_v
+
+    def run(reduction: Callable[..., int]) -> tuple[list[int], np.ndarray]:
+        residual = vertex_weights.copy()
+        in_cover = np.zeros(n, dtype=bool)
+        chosen: list[int] = []
+        reduction(edge_u, edge_v, residual, in_cover, order, chosen)
+        return chosen, residual
+
+    ref_seconds, (ref_chosen, ref_residual), ker_seconds, (ker_chosen, ker_residual) = (
+        _time_pair(
+            lambda: run(vertex_cover_reduction_reference),
+            lambda: run(vertex_cover_reduction),
+            repeats,
+        )
+    )
+    identical = ref_chosen == ker_chosen and np.array_equal(ref_residual, ker_residual)
+    return _record(
+        "local-ratio-vertex-cover", {"n": n, "m": m}, ref_seconds, ker_seconds, identical
+    )
+
+
+def bench_local_ratio_b_matching(
+    rng: np.random.Generator, *, n: int, m: int, repeats: int
+) -> dict[str, Any]:
+    """ε-adjusted b-matching reduction: batched kernel vs per-edge loop."""
+    graph = gnm_graph(n, m, rng, weights="uniform")
+    capacities = rng.integers(1, 4, n).astype(np.int64)
+    order = rng.permutation(m)
+    edge_u, edge_v, weights = graph.edge_u, graph.edge_v, graph.weights
+
+    def run(reduction: Callable[..., int]) -> tuple[list[int], np.ndarray]:
+        phi = np.zeros(n, dtype=np.float64)
+        stack: list[int] = []
+        reduction(edge_u, edge_v, weights, capacities, 0.1, phi, order, stack)
+        return stack, phi
+
+    ref_seconds, (ref_stack, ref_phi), ker_seconds, (ker_stack, ker_phi) = _time_pair(
+        lambda: run(b_matching_reduction_reference), lambda: run(b_matching_reduction), repeats
+    )
+    identical = ref_stack == ker_stack and np.array_equal(ref_phi, ker_phi)
+    return _record(
+        "local-ratio-b-matching", {"n": n, "m": m}, ref_seconds, ker_seconds, identical
+    )
+
+
+def bench_hungry_greedy_refresh(
+    rng: np.random.Generator, *, num_sets: int, num_elements: int, repeats: int
+) -> dict[str, Any]:
+    """Uncovered-count refresh: incremental CoverageCounter vs full rescans."""
+    instance = random_coverage_instance(num_sets, num_elements, rng, density=0.02)
+    instance.element_incidence()
+    additions = rng.permutation(num_sets)[: max(8, num_sets // 16)]
+
+    def reference() -> np.ndarray:
+        covered = np.zeros(num_elements, dtype=bool)
+        counts = None
+        for set_id in additions:
+            elems = instance.set_elements(int(set_id))
+            if elems.size:
+                covered[elems] = True
+            counts = uncovered_counts_reference(instance, covered)
+        return counts
+
+    def kernel() -> np.ndarray:
+        counter = CoverageCounter(instance)
+        for set_id in additions:
+            counter.add_set(int(set_id))
+        return counter.residual_counts
+
+    ref_seconds, ref_counts, ker_seconds, ker_counts = _time_pair(
+        reference, kernel, repeats
+    )
+    identical = np.array_equal(ref_counts, ker_counts)
+    return _record(
+        "hungry-greedy-refresh",
+        {"n": num_sets, "m": num_elements},
+        ref_seconds,
+        ker_seconds,
+        identical,
+    )
+
+
+def bench_mis_state_update(
+    rng: np.random.Generator, *, n: int, m: int, repeats: int
+) -> dict[str, Any]:
+    """MIS residual-degree maintenance: gather + bincount vs nested loops."""
+    graph = gnm_graph(n, m, rng)
+    adj_indptr, adj_indices = graph.adjacency()
+    base_degrees = graph.degrees().astype(np.int64)
+    candidates = rng.permutation(n)
+
+    # Precompute the greedy insertion trace once so the timed region holds
+    # only the degree updates the kernel replaces, not the shared driver.
+    trace: list[np.ndarray] = []
+    blocked = np.zeros(n, dtype=bool)
+    for v in candidates:
+        v = int(v)
+        if blocked[v]:
+            continue
+        neighbours = adj_indices[adj_indptr[v] : adj_indptr[v + 1]]
+        unblocked = neighbours[~blocked[neighbours]] if neighbours.size else neighbours
+        newly_blocked = np.concatenate(([v], unblocked)).astype(np.int64)
+        blocked[newly_blocked] = True
+        trace.append(newly_blocked)
+
+    def run(update_fn: Callable[..., None]) -> np.ndarray:
+        blocked_now = np.zeros(n, dtype=bool)
+        degrees = base_degrees.copy()
+        for newly_blocked in trace:
+            blocked_now[newly_blocked] = True
+            update_fn(adj_indptr, adj_indices, newly_blocked, blocked_now, degrees)
+        return degrees
+
+    ref_seconds, ref_degrees, ker_seconds, ker_degrees = _time_pair(
+        lambda: run(blocked_degree_decrements_reference),
+        lambda: run(blocked_degree_decrements),
+        repeats,
+    )
+    identical = np.array_equal(ref_degrees, ker_degrees)
+    return _record("mis-state-update", {"n": n, "m": m}, ref_seconds, ker_seconds, identical)
+
+
+# --------------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------------- #
+def _bench_points(seed: int, quick: bool) -> list[SweepPoint]:
+    scale = 1 if quick else 2
+    repeats = 2 if quick else 3
+    n = 2048 * scale
+    m = 4 * n
+    num_sets = 2048 * scale
+    num_elements = n // 2
+    # The two CI-gated benchmarks keep the full workload even in --quick
+    # mode: their reference runs cost tens of milliseconds either way, and
+    # the larger size buys speedup headroom over the 3x floor so a noisy
+    # shared runner cannot flake the gate.
+    gated_n = 4096
+    grid: list[tuple[str, Callable[..., Any], dict[str, int]]] = [
+        ("local-ratio-matching", bench_local_ratio_matching, {"n": gated_n, "m": 4 * gated_n}),
+        ("greedy-set-cover", bench_greedy_set_cover, {"num_sets": gated_n, "num_elements": gated_n // 2}),
+        ("local-ratio-set-cover", bench_local_ratio_set_cover, {"num_sets": num_sets, "num_elements": num_elements}),
+        ("local-ratio-vertex-cover", bench_local_ratio_vertex_cover, {"n": n, "m": m}),
+        ("local-ratio-b-matching", bench_local_ratio_b_matching, {"n": n, "m": m}),
+        ("hungry-greedy-refresh", bench_hungry_greedy_refresh, {"num_sets": num_sets, "num_elements": num_elements}),
+        ("mis-state-update", bench_mis_state_update, {"n": n, "m": m}),
+    ]
+    return [
+        SweepPoint(
+            experiment=f"bench-{name}",
+            fn=fn,
+            kwargs={**kwargs, "repeats": repeats},
+            seed=(seed, index),
+        )
+        for index, (name, fn, kwargs) in enumerate(grid)
+    ]
+
+
+def run_kernel_bench(
+    seed: int = 2018,
+    *,
+    quick: bool = False,
+    backend: str | None = None,
+    jobs: int | None = None,
+    strict: bool = True,
+) -> dict[str, Any]:
+    """Run the kernel benchmark sweep and return the report dictionary.
+
+    With ``strict`` (the default) a :class:`KernelBenchError` is raised when
+    any kernel output differs from its reference, or when a gated kernel
+    misses its :data:`SPEEDUP_THRESHOLDS` floor.  Results are never cached
+    (stale timings replayed from a cache are not measurements).
+    """
+    points = _bench_points(seed, quick)
+    results = sweep_records(run_sweep(points, backend=backend, jobs=jobs))
+    failures: list[str] = []
+    for result in results:
+        if not result["identical"]:
+            failures.append(f"{result['kernel']}: kernel output differs from reference")
+    for name, floor in SPEEDUP_THRESHOLDS.items():
+        entry = next((r for r in results if r["kernel"] == name), None)
+        if entry is None:
+            failures.append(f"{name}: gated benchmark missing from sweep")
+        elif entry["identical"] and entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x below required {floor:.1f}x"
+            )
+    report = {
+        "schema": "bench-kernels/v1",
+        "seed": int(seed),
+        "quick": bool(quick),
+        "thresholds": dict(SPEEDUP_THRESHOLDS),
+        "results": results,
+        "failures": failures,
+        "ok": not failures,
+    }
+    if strict and failures:
+        raise KernelBenchError("; ".join(failures))
+    return report
+
+
+def write_report(report: dict[str, Any], path: str = DEFAULT_OUTPUT) -> None:
+    """Write the benchmark report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

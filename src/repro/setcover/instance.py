@@ -10,6 +10,13 @@ because the paper's ``f``-approximation operates on the dual representation
 (Theorem 2.4) while the greedy ``(1+ε)·H_∆`` algorithm works on the primal
 one (Section 4).
 
+Both views are exposed as lazily-built CSR incidence indexes —
+``(indptr, indices)`` array pairs via :meth:`SetCoverInstance.set_incidence`
+and :meth:`SetCoverInstance.element_incidence` — which is what the
+vectorized kernels in :mod:`repro.kernels` gather from.  ``sets_containing``
+returns a slice of the dual index (set ids in increasing order, exactly as
+the former per-element lists did).
+
 The key structural parameters of Figure 1 are exposed as properties:
 
 * ``frequency`` — ``f``, the largest number of sets containing any element;
@@ -46,7 +53,16 @@ class SetCoverInstance:
         and that every element is coverable.
     """
 
-    __slots__ = ("_sets", "_weights", "_m", "_element_to_sets", "_set_sizes")
+    __slots__ = (
+        "_sets",
+        "_weights",
+        "_m",
+        "_set_sizes",
+        "_set_indptr",
+        "_set_indices",
+        "_elem_indptr",
+        "_elem_indices",
+    )
 
     def __init__(
         self,
@@ -59,7 +75,11 @@ class SetCoverInstance:
         normalized: list[np.ndarray] = []
         max_element = -1
         for s in sets:
-            arr = np.unique(np.asarray(list(s), dtype=np.int64))
+            arr = (
+                np.unique(np.asarray(s, dtype=np.int64))
+                if isinstance(s, np.ndarray)
+                else np.unique(np.asarray(list(s), dtype=np.int64))
+            )
             normalized.append(arr)
             if arr.size:
                 max_element = max(max_element, int(arr.max()))
@@ -74,26 +94,61 @@ class SetCoverInstance:
             if w.shape != (n,):
                 raise ValueError("weights must have one entry per set")
         self._weights = w
+        self._set_sizes = np.fromiter(
+            (arr.size for arr in normalized), dtype=np.int64, count=n
+        )
+        self._set_indptr: np.ndarray | None = None
+        self._set_indices: np.ndarray | None = None
+        self._elem_indptr: np.ndarray | None = None
+        self._elem_indices: np.ndarray | None = None
         if validate:
             if np.any(w <= 0) or np.any(~np.isfinite(w)):
                 raise ValueError("set weights must be positive and finite")
             for arr in normalized:
                 if arr.size and (arr.min() < 0 or arr.max() >= m):
                     raise ValueError("set element out of range")
-        # Dual view: for each element, the ids of the sets containing it.
-        element_to_sets: list[list[int]] = [[] for _ in range(m)]
-        for set_id, arr in enumerate(normalized):
-            for element in arr:
-                element_to_sets[int(element)].append(set_id)
-        self._element_to_sets = [np.asarray(lst, dtype=np.int64) for lst in element_to_sets]
-        self._set_sizes = np.array([arr.size for arr in normalized], dtype=np.int64)
-        if validate:
-            uncovered = [j for j, lst in enumerate(self._element_to_sets) if lst.size == 0]
-            if uncovered:
-                raise InfeasibleInstanceError(
-                    f"{len(uncovered)} element(s) are contained in no set; "
-                    f"first few: {uncovered[:5]}"
-                )
+            if m:
+                _, indices = self.set_incidence()
+                occurrences = np.bincount(indices, minlength=m)
+                uncovered = np.flatnonzero(occurrences == 0)
+                if uncovered.size:
+                    raise InfeasibleInstanceError(
+                        f"{uncovered.size} element(s) are contained in no set; "
+                        f"first few: {uncovered[:5].tolist()}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # CSR incidence indexes (lazily built)
+    # ------------------------------------------------------------------ #
+    def set_incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """Primal CSR index: ``indices[indptr[i]:indptr[i+1]]`` are ``S_i``'s elements."""
+        if self._set_indptr is None:
+            indptr = np.zeros(len(self._sets) + 1, dtype=np.int64)
+            np.cumsum(self._set_sizes, out=indptr[1:])
+            self._set_indptr = indptr
+            self._set_indices = (
+                np.concatenate(self._sets) if int(indptr[-1]) else np.empty(0, dtype=np.int64)
+            )
+        assert self._set_indices is not None
+        return self._set_indptr, self._set_indices
+
+    def element_incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dual CSR index: ``indices[indptr[j]:indptr[j+1]]`` are ``T_j``'s set ids.
+
+        Within each element the set ids appear in increasing order (the
+        stable sort preserves set-insertion order, which is id order).
+        """
+        if self._elem_indptr is None:
+            set_indptr, set_indices = self.set_incidence()
+            owners = np.repeat(np.arange(len(self._sets), dtype=np.int64), self._set_sizes)
+            order = np.argsort(set_indices, kind="stable")
+            indptr = np.zeros(self._m + 1, dtype=np.int64)
+            if set_indices.size:
+                np.cumsum(np.bincount(set_indices, minlength=self._m), out=indptr[1:])
+            self._elem_indptr = indptr
+            self._elem_indices = owners[order]
+        assert self._elem_indices is not None
+        return self._elem_indptr, self._elem_indices
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -119,7 +174,8 @@ class SetCoverInstance:
 
     def sets_containing(self, element: int) -> np.ndarray:
         """The dual list ``T_j``: ids of sets containing ``element``."""
-        return self._element_to_sets[element]
+        indptr, indices = self.element_incidence()
+        return indices[indptr[element] : indptr[element + 1]]
 
     @property
     def set_sizes(self) -> np.ndarray:
@@ -134,7 +190,9 @@ class SetCoverInstance:
         """``f``: the maximum number of sets containing any single element."""
         if self._m == 0:
             return 0
-        return int(max(lst.size for lst in self._element_to_sets))
+        indptr, _ = self.element_incidence()
+        counts = np.diff(indptr)
+        return int(counts.max()) if counts.size else 0
 
     @property
     def max_set_size(self) -> int:

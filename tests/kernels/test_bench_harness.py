@@ -1,0 +1,67 @@
+"""Smoke tests for the kernel benchmark harness and the ``repro bench`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.kernels.bench as kernel_bench
+from repro.cli import build_parser, main
+from repro.kernels.bench import SPEEDUP_THRESHOLDS
+
+SMALL = {"n": 64, "m": 256, "repeats": 1}
+SMALL_SC = {"num_sets": 48, "num_elements": 40, "repeats": 1}
+
+
+# The point functions are referenced through the module so pytest's
+# ``bench_*`` collection pattern does not pick them up as benchmarks.
+@pytest.mark.parametrize(
+    "fn,kwargs",
+    [
+        (kernel_bench.bench_local_ratio_matching, SMALL),
+        (kernel_bench.bench_local_ratio_vertex_cover, SMALL),
+        (kernel_bench.bench_local_ratio_b_matching, SMALL),
+        (kernel_bench.bench_mis_state_update, SMALL),
+        (kernel_bench.bench_greedy_set_cover, SMALL_SC),
+        (kernel_bench.bench_local_ratio_set_cover, SMALL_SC),
+        (kernel_bench.bench_hungry_greedy_refresh, SMALL_SC),
+    ],
+)
+def test_bench_points_report_identical_outputs(fn, kwargs):
+    """Every benchmark point verifies kernel == reference on its workload."""
+    record = fn(np.random.default_rng(0), **kwargs)
+    assert record["identical"] is True
+    assert record["reference_seconds"] > 0
+    assert record["kernel_seconds"] > 0
+    assert set(record) >= {"kernel", "sizes", "speedup"}
+
+
+def test_gated_kernels_are_in_thresholds():
+    assert SPEEDUP_THRESHOLDS["local-ratio-matching"] >= 3.0
+    assert SPEEDUP_THRESHOLDS["greedy-set-cover"] >= 3.0
+
+
+def test_cli_has_bench_subcommand():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--quick", "--output", "out.json"])
+    assert args.command == "bench"
+    assert args.quick is True
+    assert args.output == "out.json"
+    assert args.backend == "serial"
+
+
+@pytest.mark.slow
+def test_cli_bench_quick_writes_report(tmp_path):
+    """End-to-end: ``repro bench --quick`` emits a machine-readable report."""
+    out = tmp_path / "BENCH_kernels.json"
+    exit_code = main(["bench", "--quick", "--output", str(out)])
+    report = json.loads(out.read_text())
+    assert report["schema"] == "bench-kernels/v1"
+    assert report["quick"] is True
+    assert {r["kernel"] for r in report["results"]} >= set(SPEEDUP_THRESHOLDS)
+    assert all(r["identical"] for r in report["results"])
+    # Exit code mirrors the gate: 0 unless a kernel mismatched or missed
+    # its floor on this machine.
+    assert exit_code == (0 if report["ok"] else 1)

@@ -1,0 +1,205 @@
+"""Golden tests for the coverage counter, greedy baselines and MIS helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy_set_cover import epsilon_greedy_set_cover, greedy_set_cover
+from repro.core.hungry_greedy.mis import sequential_greedy_mis
+from repro.core.hungry_greedy.state import MISState
+from repro.graphs.generators import gnm_graph
+from repro.kernels import CoverageCounter, blocked_degree_decrements, greedy_mis_pass
+from repro.kernels.reference import (
+    blocked_degree_decrements_reference,
+    greedy_mis_pass_reference,
+    greedy_set_cover_reference,
+    uncovered_counts_reference,
+)
+from repro.setcover.generators import random_coverage_instance
+from repro.setcover.instance import SetCoverInstance
+
+SEEDS = range(6)
+
+
+# --------------------------------------------------------------------------- #
+# CoverageCounter vs full rescans
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+def test_coverage_counter_matches_rescans(seed):
+    rng = np.random.default_rng(seed)
+    instance = random_coverage_instance(35, 50, rng, density=0.07)
+    counter = CoverageCounter(instance)
+    covered = np.zeros(instance.num_elements, dtype=bool)
+    for set_id in rng.permutation(instance.num_sets)[:20]:
+        counter.add_set(int(set_id))
+        elems = instance.set_elements(int(set_id))
+        if elems.size:
+            covered[elems] = True
+        assert np.array_equal(counter.covered, covered)
+        assert np.array_equal(
+            counter.residual_counts, uncovered_counts_reference(instance, covered)
+        )
+        assert counter.num_covered == int(covered.sum())
+    assert counter.all_covered() == bool(covered.all())
+
+
+def test_coverage_counter_large_batch_path():
+    """Covering many elements at once exercises the vectorized gather branch."""
+    rng = np.random.default_rng(7)
+    instance = random_coverage_instance(30, 120, rng, density=0.2)
+    counter = CoverageCounter(instance)
+    elements = rng.permutation(instance.num_elements)[:100]
+    counter.cover_elements(elements)
+    covered = np.zeros(instance.num_elements, dtype=bool)
+    covered[elements] = True
+    assert np.array_equal(
+        counter.residual_counts, uncovered_counts_reference(instance, covered)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Greedy baselines (argmax fast path and lazy-heap path)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+def test_greedy_set_cover_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    instance = random_coverage_instance(40, 60, rng, density=0.06)
+    result = greedy_set_cover(instance)
+    assert result.chosen_sets == greedy_set_cover_reference(instance)
+    assert instance.is_cover(result.chosen_sets)
+
+
+def test_greedy_set_cover_huge_weights_heap_path():
+    """Weights above the argmax threshold fall back to the lazy heap."""
+    rng = np.random.default_rng(11)
+    base = random_coverage_instance(25, 40, rng, density=0.1)
+    huge = SetCoverInstance(
+        [base.set_elements(i) for i in range(base.num_sets)],
+        base.weights * 1e12,
+        num_elements=base.num_elements,
+    )
+    result = greedy_set_cover(huge)
+    assert result.chosen_sets == greedy_set_cover_reference(huge)
+    assert huge.is_cover(result.chosen_sets)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_epsilon_greedy_counter_backed_path(seed):
+    """The ε-greedy baseline draws the same RNG stream and picks as before."""
+    rng = np.random.default_rng(seed)
+    instance = random_coverage_instance(30, 45, rng, density=0.08)
+
+    # Reference: the original full-rescan implementation.
+    ref_rng = np.random.default_rng(500 + seed)
+    covered = np.zeros(instance.num_elements, dtype=bool)
+    expected: list[int] = []
+    weights = instance.weights
+    while not covered.all():
+        residual = np.array(
+            [
+                int(np.count_nonzero(~covered[instance.set_elements(i)]))
+                if instance.set_elements(i).size
+                else 0
+                for i in range(instance.num_sets)
+            ],
+            dtype=np.float64,
+        )
+        ratios = residual / weights
+        best = float(ratios.max())
+        if best <= 0.0:
+            break
+        candidates = np.flatnonzero(ratios >= best / 1.3 - 1e-15)
+        pick = int(candidates[ref_rng.integers(0, candidates.size)])
+        expected.append(pick)
+        elems = instance.set_elements(pick)
+        if elems.size:
+            covered[elems] = True
+
+    result = epsilon_greedy_set_cover(instance, 0.3, np.random.default_rng(500 + seed))
+    assert result.chosen_sets == expected
+
+
+# --------------------------------------------------------------------------- #
+# MIS helpers
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+def test_greedy_mis_pass_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    graph = gnm_graph(70, 280, rng)
+    indptr, indices = graph.adjacency()
+    candidates = rng.permutation(70)
+    blocked_seed = rng.random(70) < 0.2
+    blocked_ref = blocked_seed.copy()
+    blocked_ker = blocked_seed.copy()
+    added_ref: list[int] = []
+    added_ker: list[int] = []
+    greedy_mis_pass_reference(indptr, indices, candidates, blocked_ref, added_ref)
+    greedy_mis_pass(indptr, indices, candidates, blocked_ker, added_ker)
+    assert added_ker == added_ref
+    assert np.array_equal(blocked_ker, blocked_ref)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_blocked_degree_decrements_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    graph = gnm_graph(60, 240, rng)
+    indptr, indices = graph.adjacency()
+    base_degrees = graph.degrees().astype(np.int64)
+    blocked = np.zeros(60, dtype=bool)
+    degrees_ref = base_degrees.copy()
+    degrees_ker = base_degrees.copy()
+    for _ in range(8):
+        unblocked = np.flatnonzero(~blocked)
+        if unblocked.size == 0:
+            break
+        v = int(unblocked[rng.integers(0, unblocked.size)])
+        neighbours = graph.neighbors(v)
+        fresh = neighbours[~blocked[neighbours]] if neighbours.size else neighbours
+        newly_blocked = np.concatenate(([v], fresh)).astype(np.int64)
+        blocked[newly_blocked] = True
+        blocked_degree_decrements_reference(indptr, indices, newly_blocked, blocked, degrees_ref)
+        blocked_degree_decrements(indptr, indices, newly_blocked, blocked, degrees_ker)
+        assert np.array_equal(degrees_ker, degrees_ref)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mis_state_add_matches_reference_loops(seed):
+    """MISState.add keeps the exact degrees the pre-kernel nested loops kept."""
+    rng = np.random.default_rng(seed)
+    graph = gnm_graph(50, 200, rng)
+    state = MISState(graph)
+    shadow_blocked = np.zeros(50, dtype=bool)
+    shadow_degrees = graph.degrees().astype(np.int64).copy()
+    for _ in range(10):
+        unblocked = np.flatnonzero(~state.blocked)
+        if unblocked.size == 0:
+            break
+        v = int(unblocked[rng.integers(0, unblocked.size)])
+        state.add(v)
+        # Reference: the original per-vertex update.
+        newly = [v] + [
+            int(w) for w in graph.neighbors(v) if not shadow_blocked[int(w)]
+        ]
+        for w in newly:
+            shadow_blocked[w] = True
+        for w in newly:
+            for x in graph.neighbors(w):
+                if not shadow_blocked[int(x)]:
+                    shadow_degrees[int(x)] -= 1
+            shadow_degrees[w] = 0
+        assert np.array_equal(state.blocked, shadow_blocked)
+        assert np.array_equal(state.degrees, shadow_degrees)
+
+
+def test_sequential_greedy_mis_is_maximal_and_ordered():
+    rng = np.random.default_rng(3)
+    graph = gnm_graph(40, 120, rng)
+    added = sequential_greedy_mis(graph)
+    mask = np.zeros(40, dtype=bool)
+    mask[added] = True
+    for u, v, _ in graph.edges():
+        assert not (mask[u] and mask[v])
+    for v in range(40):
+        if not mask[v]:
+            assert any(mask[int(w)] for w in graph.neighbors(v))

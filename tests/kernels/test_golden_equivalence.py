@@ -1,0 +1,313 @@
+"""Golden-equivalence property tests: kernels vs pure-Python references.
+
+Every vectorized kernel must return *byte-identical* results to the
+retained reference loop in :mod:`repro.kernels.reference` — same emission
+lists in the same order, and bitwise-equal mutated float arrays — on
+randomized instances across seeds, plus the adversarial shapes where the
+window batching degenerates (stars, paths, complete graphs, equal weights,
+duplicate orders).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnm_graph, with_random_weights
+from repro.graphs.graph import Graph
+from repro.kernels import (
+    b_matching_reduction,
+    capacity_array,
+    central_matching_pass,
+    matching_reduction,
+    set_cover_reduction,
+    unwind_b_matching,
+    unwind_matching,
+    vertex_cover_reduction,
+)
+from repro.kernels.reference import (
+    b_matching_reduction_reference,
+    central_matching_pass_reference,
+    matching_reduction_reference,
+    set_cover_reduction_reference,
+    unwind_b_matching_reference,
+    unwind_matching_reference,
+    vertex_cover_reduction_reference,
+)
+from repro.setcover.generators import (
+    random_coverage_instance,
+    random_frequency_bounded_instance,
+)
+
+SEEDS = range(6)
+
+
+def random_graph(seed: int, n: int = 80, m: int = 320) -> Graph:
+    rng = np.random.default_rng(seed)
+    return with_random_weights(gnm_graph(n, m, rng), rng)
+
+
+def adversarial_graphs() -> list[Graph]:
+    star = Graph(41, [(0, i) for i in range(1, 41)])
+    path = Graph(40, [(i, i + 1) for i in range(39)])
+    complete = Graph(18, [(i, j) for i in range(18) for j in range(i + 1, 18)])
+    return [star, path, complete]
+
+
+def all_graphs() -> list[Graph]:
+    return [random_graph(seed) for seed in SEEDS] + adversarial_graphs()
+
+
+def orders_for(m: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(1000 + seed)
+    orders = [np.arange(m), rng.permutation(m)]
+    if m:
+        orders.append(rng.integers(0, m, m // 2))  # duplicates + subset
+    return orders
+
+
+# --------------------------------------------------------------------------- #
+# Matching
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("graph_index", range(9))
+def test_matching_reduction_and_unwind_golden(graph_index):
+    graph = all_graphs()[graph_index]
+    n, m = graph.num_vertices, graph.num_edges
+    for order in orders_for(m, graph_index):
+        phi_ref = np.zeros(n)
+        phi_ker = np.zeros(n)
+        stack_ref: list[int] = []
+        stack_ker: list[int] = []
+        matching_reduction_reference(
+            graph.edge_u, graph.edge_v, graph.weights, phi_ref, order, stack_ref
+        )
+        matching_reduction(
+            graph.edge_u, graph.edge_v, graph.weights, phi_ker, order, stack_ker
+        )
+        assert stack_ker == stack_ref
+        assert np.array_equal(phi_ker, phi_ref)
+        assert unwind_matching(graph.edge_u, graph.edge_v, n, stack_ker) == (
+            unwind_matching_reference(graph.edge_u, graph.edge_v, n, stack_ref)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Vertex cover
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("graph_index", range(9))
+def test_vertex_cover_reduction_golden(graph_index):
+    graph = all_graphs()[graph_index]
+    n, m = graph.num_vertices, graph.num_edges
+    rng = np.random.default_rng(2000 + graph_index)
+    weights = rng.uniform(0.5, 5.0, n)
+    for order in orders_for(m, graph_index):
+        residual_ref = weights.copy()
+        residual_ker = weights.copy()
+        cover_ref = np.zeros(n, dtype=bool)
+        cover_ker = np.zeros(n, dtype=bool)
+        chosen_ref: list[int] = []
+        chosen_ker: list[int] = []
+        vertex_cover_reduction_reference(
+            graph.edge_u, graph.edge_v, residual_ref, cover_ref, order, chosen_ref
+        )
+        vertex_cover_reduction(
+            graph.edge_u, graph.edge_v, residual_ker, cover_ker, order, chosen_ker
+        )
+        assert chosen_ker == chosen_ref
+        assert np.array_equal(residual_ker, residual_ref)
+        assert np.array_equal(cover_ker, cover_ref)
+
+
+# --------------------------------------------------------------------------- #
+# b-matching
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("graph_index", range(9))
+@pytest.mark.parametrize("epsilon", [0.05, 0.4])
+def test_b_matching_reduction_and_unwind_golden(graph_index, epsilon):
+    graph = all_graphs()[graph_index]
+    n, m = graph.num_vertices, graph.num_edges
+    rng = np.random.default_rng(3000 + graph_index)
+    capacities = rng.integers(1, 4, n).astype(np.int64)
+    for order in orders_for(m, graph_index):
+        phi_ref = np.zeros(n)
+        phi_ker = np.zeros(n)
+        stack_ref: list[int] = []
+        stack_ker: list[int] = []
+        b_matching_reduction_reference(
+            graph.edge_u, graph.edge_v, graph.weights, capacities, epsilon,
+            phi_ref, order, stack_ref,
+        )
+        b_matching_reduction(
+            graph.edge_u, graph.edge_v, graph.weights, capacities, epsilon,
+            phi_ker, order, stack_ker,
+        )
+        assert stack_ker == stack_ref
+        assert np.array_equal(phi_ker, phi_ref)
+        assert unwind_b_matching(graph.edge_u, graph.edge_v, stack_ker, capacities) == (
+            unwind_b_matching_reference(graph.edge_u, graph.edge_v, stack_ref, capacities)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Set cover
+# --------------------------------------------------------------------------- #
+def set_cover_instances():
+    instances = []
+    for seed in SEEDS:
+        rng = np.random.default_rng(seed)
+        instances.append(random_coverage_instance(40, 60, rng, density=0.08))
+        instances.append(random_frequency_bounded_instance(30, 50, 4, rng))
+    return instances
+
+
+@pytest.mark.parametrize("instance_index", range(12))
+def test_set_cover_reduction_golden(instance_index):
+    instance = set_cover_instances()[instance_index]
+    elem_indptr, elem_indices = instance.element_incidence()
+    set_indptr, set_indices = instance.set_incidence()
+    m, n = instance.num_elements, instance.num_sets
+    for order in orders_for(m, instance_index):
+        state_ref = (
+            instance.weights.astype(np.float64).copy(),
+            np.zeros(m, dtype=bool),
+            np.zeros(n, dtype=bool),
+            [],
+        )
+        state_ker = (
+            instance.weights.astype(np.float64).copy(),
+            np.zeros(m, dtype=bool),
+            np.zeros(n, dtype=bool),
+            [],
+        )
+        count_ref = set_cover_reduction_reference(
+            elem_indptr, elem_indices, set_indptr, set_indices,
+            state_ref[0], state_ref[1], state_ref[2], order, state_ref[3],
+        )
+        count_ker = set_cover_reduction(
+            elem_indptr, elem_indices, set_indptr, set_indices,
+            state_ker[0], state_ker[1], state_ker[2], order, state_ker[3],
+        )
+        assert count_ker == count_ref
+        assert state_ker[3] == state_ref[3]
+        assert np.array_equal(state_ker[0], state_ref[0])
+        assert np.array_equal(state_ker[1], state_ref[1])
+        assert np.array_equal(state_ker[2], state_ref[2])
+
+
+def test_set_cover_reduction_resumes_partial_state():
+    """Algorithm 1 calls the kernel repeatedly against persistent state."""
+    rng = np.random.default_rng(99)
+    instance = random_coverage_instance(30, 40, rng, density=0.1)
+    elem_indptr, elem_indices = instance.element_incidence()
+    set_indptr, set_indices = instance.set_incidence()
+    m, n = instance.num_elements, instance.num_sets
+    batches = [rng.permutation(m)[:10] for _ in range(4)]
+
+    residual_ref = instance.weights.astype(np.float64).copy()
+    residual_ker = residual_ref.copy()
+    covered_ref = np.zeros(m, dtype=bool)
+    covered_ker = np.zeros(m, dtype=bool)
+    cover_ref = np.zeros(n, dtype=bool)
+    cover_ker = np.zeros(n, dtype=bool)
+    chosen_ref: list[int] = []
+    chosen_ker: list[int] = []
+    for batch in batches:
+        set_cover_reduction_reference(
+            elem_indptr, elem_indices, set_indptr, set_indices,
+            residual_ref, covered_ref, cover_ref, batch, chosen_ref,
+        )
+        set_cover_reduction(
+            elem_indptr, elem_indices, set_indptr, set_indices,
+            residual_ker, covered_ker, cover_ker, batch, chosen_ker,
+        )
+        assert chosen_ker == chosen_ref
+        assert np.array_equal(residual_ker, residual_ref)
+
+
+def test_set_cover_reduction_tiny_weights():
+    """Weights near the 1e-12 freeze threshold follow the reference bitwise."""
+    sets = [list(range(10))] + [[i] for i in range(10)]
+    weights = np.concatenate([[1e-13], np.full(10, 0.5)])
+    from repro.setcover.instance import SetCoverInstance
+
+    instance = SetCoverInstance(sets, weights)
+    elem_indptr, elem_indices = instance.element_incidence()
+    set_indptr, set_indices = instance.set_incidence()
+    order = np.arange(10)
+    for reduction in (set_cover_reduction, set_cover_reduction_reference):
+        residual = weights.astype(np.float64).copy()
+        covered = np.zeros(10, dtype=bool)
+        in_cover = np.zeros(11, dtype=bool)
+        chosen: list[int] = []
+        reduction(
+            elem_indptr, elem_indices, set_indptr, set_indices,
+            residual, covered, in_cover, order, chosen,
+        )
+        assert chosen == [0]  # giant set freezes instantly, covers everything
+
+
+# --------------------------------------------------------------------------- #
+# Central machine pass (Algorithm 4)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+def test_central_matching_pass_golden(seed):
+    graph = random_graph(seed, n=60, m=240)
+    n, m = graph.num_vertices, graph.num_edges
+    rng = np.random.default_rng(4000 + seed)
+    # Build a host-sorted sample like Algorithm 4 does, including repeated
+    # edges under different hosts and partially-pushed state.
+    sample_u = rng.random(m) < 0.5
+    sample_v = rng.random(m) < 0.5
+    edges = np.concatenate([np.flatnonzero(sample_u), np.flatnonzero(sample_v)])
+    hosts = np.concatenate(
+        [graph.edge_u[np.flatnonzero(sample_u)], graph.edge_v[np.flatnonzero(sample_v)]]
+    )
+    order = np.argsort(hosts, kind="stable")
+    sample_edges = edges[order]
+    boundaries = np.searchsorted(hosts[order], np.arange(n + 1))
+
+    phi_ref = np.zeros(n)
+    phi_ker = np.zeros(n)
+    pre_stack = rng.random(m) < 0.05  # some edges already pushed
+    on_stack_ref = pre_stack.copy()
+    on_stack_ker = pre_stack.copy()
+    stack_ref: list[int] = []
+    stack_ker: list[int] = []
+    pushed_ref = central_matching_pass_reference(
+        graph.edge_u, graph.edge_v, graph.weights, phi_ref, on_stack_ref,
+        sample_edges, boundaries, stack_ref,
+    )
+    pushed_ker = central_matching_pass(
+        graph.edge_u, graph.edge_v, graph.weights, phi_ker, on_stack_ker,
+        sample_edges, boundaries, stack_ker,
+    )
+    assert pushed_ker == pushed_ref
+    assert stack_ker == stack_ref
+    assert np.array_equal(phi_ker, phi_ref)
+    assert np.array_equal(on_stack_ker, on_stack_ref)
+
+
+# --------------------------------------------------------------------------- #
+# Capacity materialisation (satellite fix)
+# --------------------------------------------------------------------------- #
+def test_capacity_array_mapping_matches_dict_loop():
+    mapping = {0: 3, 5: 2, 9: 7}
+    expected = np.array([int(mapping.get(v, 1)) for v in range(12)], dtype=np.int64)
+    assert np.array_equal(capacity_array(12, mapping), expected)
+    assert np.array_equal(capacity_array(4, {}), np.ones(4, dtype=np.int64))
+    assert np.array_equal(capacity_array(3, 2), np.full(3, 2, dtype=np.int64))
+    assert np.array_equal(capacity_array(3, [1, 2, 3]), np.array([1, 2, 3]))
+
+
+def test_capacity_array_ignores_out_of_range_keys_like_dict_get():
+    # The replaced ``b.get(v, 1) for v in range(n)`` loop never looked at
+    # stray keys; the vectorized path must not start raising on them.
+    assert np.array_equal(capacity_array(3, {5: 9, -1: 4}), np.ones(3, dtype=np.int64))
+    assert np.array_equal(
+        capacity_array(3, {1: 2, 7: 9}), np.array([1, 2, 1], dtype=np.int64)
+    )
+
+
+def test_capacity_array_rejects_wrong_length_vector():
+    with pytest.raises(ValueError):
+        capacity_array(3, [1, 2])
