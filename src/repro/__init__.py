@@ -23,7 +23,11 @@ This package provides:
   :func:`repro.backends.run_sweep` entry point;
 * :mod:`repro.kernels` — vectorized NumPy kernels for the algorithm hot
   paths, byte-identical to the retained pure-Python references
-  (``docs/PERFORMANCE.md``), benchmarked by ``python -m repro bench``.
+  (``docs/PERFORMANCE.md``), benchmarked by ``python -m repro bench``;
+* :mod:`repro.datasets` — real-dataset ingestion (SNAP/Matrix
+  Market/DIMACS/set-cover text), the ``.npz`` instance store, and the
+  named workload scenario registry behind every ``--scenario`` flag
+  (``docs/DATASETS.md``).
 
 Quickstart
 ----------
@@ -43,12 +47,14 @@ from . import (
     backends,
     baselines,
     core,
+    datasets,
     experiments,
     graphs,
     kernels,
     mapreduce,
     setcover,
 )
+from ._version import __version__
 from .backends import (
     BatchBackend,
     MultiprocessingBackend,
@@ -56,6 +62,15 @@ from .backends import (
     SerialBackend,
     SweepPoint,
     run_sweep,
+)
+from .datasets import (
+    Scenario,
+    build_scenario,
+    load_dataset,
+    load_file,
+    resolve_scenario,
+    save_dataset,
+    scenario_names,
 )
 from .baselines import (
     exact_matching,
@@ -126,12 +141,11 @@ from .setcover import (
     random_frequency_bounded_instance,
 )
 
-__version__ = "1.0.0"
-
 __all__ = [
     "__version__",
     # subpackages
     "backends",
+    "datasets",
     "mapreduce",
     "graphs",
     "setcover",
@@ -139,6 +153,14 @@ __all__ = [
     "baselines",
     "analysis",
     "experiments",
+    # datasets & scenarios
+    "Scenario",
+    "build_scenario",
+    "load_dataset",
+    "load_file",
+    "resolve_scenario",
+    "save_dataset",
+    "scenario_names",
     # execution backends
     "SweepPoint",
     "SerialBackend",

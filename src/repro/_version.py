@@ -1,0 +1,70 @@
+"""Single source of the package version.
+
+The authoritative number lives in ``pyproject.toml`` (``[project] version``).
+In a source checkout (``PYTHONPATH=src``) it is read from there; in an
+installed environment, from the installation metadata.  Everything in the
+package — ``repro.__version__``, ``repro --version`` — imports it from here,
+so the number exists in exactly one place.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+__all__ = ["__version__"]
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _parse_pyproject(raw: bytes) -> str | None:
+    """Extract ``[project] version`` — but only if the project is ``repro``."""
+    try:
+        import tomllib  # Python 3.11+
+
+        project = tomllib.loads(raw.decode("utf-8")).get("project", {})
+        if project.get("name") != "repro":
+            return None
+        version = project.get("version")
+        return str(version) if version else None
+    except ModuleNotFoundError:
+        if not re.search(rb'^name\s*=\s*"repro"', raw, re.MULTILINE):
+            return None
+        match = re.search(rb'^version\s*=\s*"([^"]+)"', raw, re.MULTILINE)
+        return match.group(1).decode("utf-8") if match else None
+
+
+def _from_pyproject() -> str | None:
+    """Read the version from the checkout's ``pyproject.toml``, if present.
+
+    Never raises: an unreadable or malformed file (e.g. mid-edit), or an
+    unrelated ancestor project's ``pyproject.toml``, simply yields ``None``
+    so the metadata/fallback paths take over — importing the package must
+    not depend on the state of nearby TOML files.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for _ in range(4):  # src/repro → src → repo root
+        candidate = os.path.join(here, "pyproject.toml")
+        if os.path.isfile(candidate):
+            try:
+                with open(candidate, "rb") as fh:
+                    return _parse_pyproject(fh.read())
+            except Exception:
+                return None
+        here = os.path.dirname(here)
+    return None
+
+
+def _from_metadata() -> str | None:
+    """Read the version of an installed ``repro`` distribution."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+__version__ = _from_pyproject() or _from_metadata() or _FALLBACK

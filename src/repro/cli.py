@@ -1,6 +1,6 @@
 """Command-line interface for running the reproduction experiments.
 
-Installed as ``python -m repro``.  Five subcommands:
+Installed as ``python -m repro``.  Six subcommands:
 
 ``figure1``
     Run every (or selected) Figure-1 experiment and print the measured table
@@ -24,9 +24,20 @@ Installed as ``python -m repro``.  Five subcommands:
     kernel's output differs from its reference or a gated kernel misses its
     speedup floor (see ``docs/PERFORMANCE.md``).
 
-Every subcommand accepts the execution-backend flags (``bench`` restricts
-them: no ``mp``, no cache — concurrent or replayed wall-clock timings are
-not measurements):
+``data``
+    Dataset tools (see ``docs/DATASETS.md``): ``convert`` parses a raw
+    dataset file (SNAP edge list, Matrix Market, DIMACS, set-cover text;
+    gzip transparent) into the fast ``.npz`` instance store, ``info``
+    inspects any dataset file, ``list`` prints the scenario registry.
+
+The experiment subcommands accept ``--scenario NAME`` / ``--scenario
+file:PATH`` to run on a named workload or an ingested dataset instead of
+the built-in generators (``scaling c`` excepted — its sweep variable *is*
+the generator's densification exponent).
+
+Every experiment subcommand accepts the execution-backend flags (``bench``
+restricts them: no ``mp``, no cache — concurrent or replayed wall-clock
+timings are not measurements):
 
 ``--backend {serial,mp,batch}``
     How to execute the sweep's independent points (default ``serial``);
@@ -42,10 +53,13 @@ Examples
 
     python -m repro figure1 --seed 7 --trials 3
     python -m repro figure1 --backend mp --jobs 4 --cache-dir .sweep-cache
+    python -m repro figure1 --scenario social-sparse
     python -m repro experiment fig1-matching --seed 1
     python -m repro ablation mu --algorithm matching --backend mp
     python -m repro scaling n --algorithm mis
     python -m repro bench --quick --output BENCH_kernels.json
+    python -m repro data convert as-caida.txt.gz caida.npz
+    python -m repro figure1 --scenario file:caida.npz
 """
 
 from __future__ import annotations
@@ -57,8 +71,19 @@ from typing import Sequence
 
 import numpy as np
 
+from ._version import __version__
 from .analysis import format_table
 from .backends import BACKENDS
+from .datasets import (
+    FORMATS,
+    SCENARIOS,
+    DatasetError,
+    detect_format,
+    load_file,
+    read_header,
+    resolve_scenario,
+    save_dataset,
+)
 from .experiments import (
     FIGURE1_EXPERIMENTS,
     rounds_vs_c,
@@ -117,11 +142,25 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_option(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--scenario`` flag to a subcommand parser."""
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME|file:PATH",
+        help="run on a named workload scenario or an ingested dataset file "
+        "(see 'repro data list' and docs/DATASETS.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Greedy and Local Ratio Algorithms in the MapReduce Model' (SPAA 2018)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -135,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these experiments",
     )
     fig1.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    _add_scenario_option(fig1)
     _add_backend_options(fig1)
 
     single = sub.add_parser("experiment", help="run one experiment and print its record")
@@ -142,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     single.add_argument("--seed", type=int, default=2018)
     single.add_argument("--trials", type=int, default=1)
     single.add_argument("--json", action="store_true")
+    _add_scenario_option(single)
     _add_backend_options(single)
 
     ablation = sub.add_parser("ablation", help="run an ablation sweep")
@@ -158,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="for eta/epsilon sweeps: matching|set-cover / set-cover|b-matching",
     )
     ablation.add_argument("--json", action="store_true")
+    _add_scenario_option(ablation)
     _add_backend_options(ablation)
 
     scaling = sub.add_parser("scaling", help="run a scaling sweep")
@@ -169,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="for the n sweep: matching | vertex-cover | mis",
     )
     scaling.add_argument("--json", action="store_true")
+    _add_scenario_option(scaling)
     _add_backend_options(scaling)
 
     bench = sub.add_parser(
@@ -188,6 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="also print the report as JSON")
     _add_backend_options(bench)
+
+    data = sub.add_parser("data", help="dataset tools: convert, inspect, list scenarios")
+    data_sub = data.add_subparsers(dest="data_command", required=True)
+    convert = data_sub.add_parser(
+        "convert", help="parse a raw dataset file into the fast .npz instance store"
+    )
+    convert.add_argument("input", help="raw dataset file (gzip transparent)")
+    convert.add_argument("output", help="output .npz path")
+    convert.add_argument(
+        "--format",
+        dest="fmt",
+        choices=sorted(FORMATS),
+        default=None,
+        help="input format (default: detect from extension/content)",
+    )
+    convert.add_argument("--name", default=None, help="dataset name recorded in the header")
+    info = data_sub.add_parser("info", help="inspect a dataset file (raw or stored)")
+    info.add_argument("path")
+    info.add_argument("--json", action="store_true")
+    lst = data_sub.add_parser("list", help="list the registered workload scenarios")
+    lst.add_argument("--json", action="store_true")
     return parser
 
 
@@ -234,6 +298,7 @@ def _run_figure1(args: argparse.Namespace) -> int:
         args.seed,
         experiments=args.only or None,
         trials=args.trials,
+        scenario=args.scenario,
         **_backend_kwargs(args),
     )
     _print_records(records, args.json)
@@ -245,6 +310,7 @@ def _run_single(args: argparse.Namespace) -> int:
         args.seed,
         experiments=[args.name],
         trials=args.trials,
+        scenario=args.scenario,
         **_backend_kwargs(args),
     )
     if args.json:
@@ -259,7 +325,7 @@ def _run_single(args: argparse.Namespace) -> int:
 
 def _run_ablation(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    kwargs = _backend_kwargs(args)
+    kwargs = _backend_kwargs(args) | {"scenario": args.scenario}
     if args.sweep == "mu":
         records = sweep_mu(rng, algorithm=args.algorithm, **kwargs)
     elif args.sweep == "eta":
@@ -310,12 +376,99 @@ def _run_scaling(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     kwargs = _backend_kwargs(args)
     if args.sweep == "n":
-        records = rounds_vs_n(rng, algorithm=args.algorithm, **kwargs)
+        records = rounds_vs_n(rng, algorithm=args.algorithm, scenario=args.scenario, **kwargs)
     elif args.sweep == "c":
         records = rounds_vs_c(rng, **kwargs)
     else:
-        records = space_vs_mu(rng, **kwargs)
+        records = space_vs_mu(rng, scenario=args.scenario, **kwargs)
     _print_records(records, args.json)
+    return 0
+
+
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _dataset_summary(obj) -> dict[str, object]:
+    """JSON-friendly stats for a loaded graph or set cover instance."""
+    from .graphs import Graph
+
+    if isinstance(obj, Graph):
+        return {
+            "kind": "graph",
+            "num_vertices": obj.num_vertices,
+            "num_edges": obj.num_edges,
+            "densification_exponent": round(obj.densification_exponent(), 4),
+            "max_degree": obj.max_degree(),
+            "weighted": bool(obj.num_edges and not bool(np.all(obj.weights == 1.0))),
+            "total_weight": obj.total_weight(),
+        }
+    return {
+        "kind": "setcover",
+        "num_sets": obj.num_sets,
+        "num_elements": obj.num_elements,
+        "frequency": obj.frequency,
+        "max_set_size": obj.max_set_size,
+        "weight_ratio": round(obj.weight_ratio, 6),
+        "total_size": obj.total_size,
+    }
+
+
+def _run_data(args: argparse.Namespace) -> int:
+    import os
+
+    if args.data_command == "list":
+        rows = [
+            [s.name, s.kind, "yes" if s.sized else "no", s.description]
+            for s in (SCENARIOS[name] for name in sorted(SCENARIOS))
+        ]
+        if args.json:
+            payload = [
+                {"name": r[0], "kind": r[1], "sized": r[2] == "yes", "description": r[3]}
+                for r in rows
+            ]
+            print(json.dumps(payload, indent=2))
+        else:
+            print(format_table(["scenario", "kind", "sized", "description"], rows))
+            print("\nplus 'file:<path>' for any dataset file (raw or converted .npz).")
+        return 0
+
+    if args.data_command == "info":
+        obj, info = load_file(args.path)
+        summary = _dataset_summary(obj)
+        if args.json:
+            print(json.dumps({"path": args.path, "info": info, **summary}, indent=2, default=str))
+        else:
+            rows = [[k, v] for k, v in summary.items()]
+            rows += [[f"ingest:{k}", v] for k, v in info.items() if k != "header"]
+            if "header" in info:
+                header = info["header"]
+                rows += [
+                    ["store:schema_version", header.get("schema_version")],
+                    ["store:name", header.get("name", "")],
+                    ["store:source", header.get("source", "")],
+                ]
+            print(format_table(["property", "value"], rows))
+        return 0
+
+    # convert
+    fmt = args.fmt or detect_format(args.input)
+    if fmt == "store":
+        raise DatasetError(f"{args.input!r} is already a stored dataset")
+    obj, info = load_file(args.input, fmt)
+    name = args.name or os.path.basename(args.input)
+    header = save_dataset(args.output, obj, name=name, source=args.input, extra=info)
+    size = os.path.getsize(args.output)
+    summary = _dataset_summary(obj)
+    shape = ", ".join(f"{k}={v}" for k, v in summary.items() if k != "kind")
+    print(f"converted {args.input} ({info['format']}) -> {args.output}")
+    print(f"  {header['kind']}: {shape}")
+    print(f"  {_format_bytes(size)} on disk; load it with --scenario file:{args.output}")
     return 0
 
 
@@ -323,8 +476,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "data":
+        try:
+            return _run_data(args)
+        except DatasetError as exc:
+            parser.error(str(exc))
     if args.jobs is not None and args.backend != "mp":
         parser.error("--jobs is only meaningful with --backend mp")
+    if getattr(args, "scenario", None) is not None:
+        if args.command == "scaling" and args.sweep == "c":
+            parser.error(
+                "scaling c sweeps the generator's densification exponent; "
+                "--scenario is not meaningful there"
+            )
+        try:
+            resolve_scenario(args.scenario)
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
     if args.command == "bench" and args.backend == "mp":
         # Concurrent workers contend for cores, so each worker's wall-clock
         # timings absorb the others' preemptions — the measured ratios stop

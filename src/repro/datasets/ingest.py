@@ -1,0 +1,505 @@
+"""Real-dataset ingestion: parsers for the common graph/set-cover file formats.
+
+The paper's regime (``m = n^{1+c}`` with ``c ≈ 0.08–0.5``) comes from
+measurements on *real* networks, so the experiments must be runnable on
+them.  This module parses the formats those datasets actually ship in:
+
+``edgelist``
+    SNAP-style whitespace-separated edge lists: one ``u v`` (or ``u v w``)
+    pair per line, ``#``/``%`` comments.  Vertex ids may be arbitrary
+    non-negative integers (SNAP files are full of gaps); they are compacted
+    to ``0 … n-1``.  Self-loops and duplicate/reversed edges are dropped
+    (counts reported in the ingest info).
+
+``matrix-market``
+    Matrix Market ``coordinate`` files (``%%MatrixMarket``), ``real`` /
+    ``integer`` / ``pattern`` fields, ``general`` or ``symmetric``
+    symmetry.  The matrix must be square; it is read as an adjacency
+    matrix (diagonal dropped, symmetric duplicates merged).
+
+``dimacs``
+    DIMACS graph files: ``c`` comments, one ``p edge <n> <m>`` problem
+    line, ``e <u> <v> [w]`` edges with 1-based vertex ids.
+
+``setcover``
+    A simple text format for weighted set cover instances::
+
+        # comment
+        p setcover <num_sets> <num_elements>
+        s <weight> <elem> <elem> ...      (one line per set, in id order)
+
+All parsers read through :func:`_open_text`, which sniffs the gzip magic —
+``.gz`` (or undeclared gzip) files stream through transparently — and
+accumulate fixed-size line chunks into NumPy arrays, so the Python-object
+working set stays bounded regardless of file size.
+
+Every loader returns ``(object, info)`` where ``info`` is a JSON-friendly
+dict recording provenance (format, dropped self-loops/duplicates,
+relabelling) that the CLI prints and the store records in the header.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..mapreduce.exceptions import InfeasibleInstanceError
+from ..setcover.instance import SetCoverInstance
+from .store import DatasetError, load_dataset, read_header
+
+__all__ = [
+    "FORMATS",
+    "IngestError",
+    "detect_format",
+    "load_dimacs",
+    "load_edgelist",
+    "load_file",
+    "load_matrix_market",
+    "load_setcover_text",
+]
+
+#: Lines per accumulation chunk (bounds the transient Python-object footprint).
+_CHUNK_LINES = 1 << 16
+
+#: Comment prefixes accepted in edge lists (SNAP uses ``#``, some use ``%``).
+_COMMENT_PREFIXES = ("#", "%")
+
+
+class IngestError(DatasetError):
+    """A dataset file could not be parsed (syntax, ranges, inconsistency)."""
+
+
+def _open_text(path: str | os.PathLike[str]) -> io.TextIOWrapper:
+    """Open ``path`` for text reading, transparently decompressing gzip.
+
+    Detection is by magic bytes, not extension, so ``file.txt`` that is
+    secretly gzipped still streams through.
+    """
+    fh = open(path, "rb")
+    try:
+        magic = fh.read(2)
+        fh.seek(0)
+    except Exception:
+        fh.close()
+        raise
+    if magic == b"\x1f\x8b":
+        return io.TextIOWrapper(gzip.GzipFile(fileobj=fh), encoding="utf-8")
+    return io.TextIOWrapper(fh, encoding="utf-8")
+
+
+def _data_lines(
+    stream: io.TextIOWrapper, *, comments: tuple[str, ...] = _COMMENT_PREFIXES
+) -> Iterator[tuple[int, list[str]]]:
+    """Yield ``(line_number, fields)`` for every non-blank, non-comment line."""
+    for lineno, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comments):
+            continue
+        yield lineno, stripped.split()
+
+
+class _ChunkedColumns:
+    """Accumulate ``(u, v, w)`` rows into bounded chunks of NumPy arrays."""
+
+    def __init__(self) -> None:
+        self._u: list[int] = []
+        self._v: list[int] = []
+        self._w: list[float] = []
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.count = 0
+
+    def append(self, u: int, v: int, w: float) -> None:
+        self._u.append(u)
+        self._v.append(v)
+        self._w.append(w)
+        self.count += 1
+        if len(self._u) >= _CHUNK_LINES:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._u:
+            self._chunks.append(
+                (
+                    np.asarray(self._u, dtype=np.int64),
+                    np.asarray(self._v, dtype=np.int64),
+                    np.asarray(self._w, dtype=np.float64),
+                )
+            )
+            self._u, self._v, self._w = [], [], []
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self._flush()
+        if not self._chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        return (
+            np.concatenate([c[0] for c in self._chunks]),
+            np.concatenate([c[1] for c in self._chunks]),
+            np.concatenate([c[2] for c in self._chunks]),
+        )
+
+
+def _edges_to_graph(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    *,
+    num_vertices: int | None,
+    relabel: bool,
+    info: dict[str, Any],
+) -> Graph:
+    """Canonicalise raw endpoint columns into a simple :class:`Graph`.
+
+    Drops self-loops, merges duplicate/reversed edges (first occurrence's
+    weight wins), optionally compacts sparse vertex ids to ``0 … n-1``, and
+    emits edges sorted by ``(u, v)`` — a deterministic layout, so parsing
+    the same file twice yields bitwise-identical graphs.
+    """
+    keep = u != v
+    info["self_loops_dropped"] = int(np.count_nonzero(~keep))
+    u, v, w = u[keep], v[keep], w[keep]
+    if relabel:
+        ids = np.unique(np.concatenate([u, v]))
+        raw_span = int(ids[-1]) + 1 if ids.size else 0
+        n = int(ids.size)
+        info["num_vertices_raw"] = raw_span
+        info["relabelled"] = n != raw_span
+        if info["relabelled"]:
+            u = np.searchsorted(ids, u)
+            v = np.searchsorted(ids, v)
+    else:
+        assert num_vertices is not None
+        n = int(num_vertices)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    if len(lo):
+        keys = lo * np.int64(n) + hi
+        _, first = np.unique(keys, return_index=True)
+        info["duplicate_edges_dropped"] = int(len(keys) - len(first))
+        lo, hi, w = lo[first], hi[first], w[first]
+    else:
+        info["duplicate_edges_dropped"] = 0
+    info["num_vertices"] = n
+    info["num_edges"] = int(len(lo))
+    return Graph.from_arrays(n, lo, hi, w)
+
+
+# --------------------------------------------------------------------------- #
+# Edge lists (SNAP style)
+# --------------------------------------------------------------------------- #
+def load_edgelist(path: str | os.PathLike[str]) -> tuple[Graph, dict[str, Any]]:
+    """Parse a SNAP-style edge list (``u v`` or ``u v w`` per line)."""
+    columns = _ChunkedColumns()
+    ncols: int | None = None
+    with _open_text(path) as stream:
+        for lineno, fields in _data_lines(stream):
+            if ncols is None:
+                if len(fields) not in (2, 3):
+                    raise IngestError(
+                        f"{path}:{lineno}: expected 'u v' or 'u v w', got {len(fields)} fields"
+                    )
+                ncols = len(fields)
+            elif len(fields) != ncols:
+                raise IngestError(
+                    f"{path}:{lineno}: inconsistent column count "
+                    f"(expected {ncols}, got {len(fields)})"
+                )
+            try:
+                u = int(fields[0])
+                v = int(fields[1])
+                w = float(fields[2]) if ncols == 3 else 1.0
+            except ValueError:
+                raise IngestError(f"{path}:{lineno}: non-numeric field in {fields!r}") from None
+            if u < 0 or v < 0:
+                raise IngestError(f"{path}:{lineno}: negative vertex id in {fields!r}")
+            if ncols == 3 and not np.isfinite(w):
+                raise IngestError(f"{path}:{lineno}: non-finite edge weight {fields[2]!r}")
+            columns.append(u, v, w)
+    if columns.count == 0:
+        raise IngestError(f"{path}: no edges found (empty or all-comment file)")
+    u_arr, v_arr, w_arr = columns.arrays()
+    info: dict[str, Any] = {"format": "edgelist", "weighted": ncols == 3}
+    graph = _edges_to_graph(u_arr, v_arr, w_arr, num_vertices=None, relabel=True, info=info)
+    return graph, info
+
+
+# --------------------------------------------------------------------------- #
+# Matrix Market
+# --------------------------------------------------------------------------- #
+def load_matrix_market(path: str | os.PathLike[str]) -> tuple[Graph, dict[str, Any]]:
+    """Parse a Matrix Market ``coordinate`` file as an adjacency matrix."""
+    with _open_text(stream_path := path) as stream:
+        banner = stream.readline().strip()
+        parts = banner.lower().split()
+        if len(parts) != 5 or parts[0] != "%%matrixmarket":
+            raise IngestError(f"{stream_path}: missing %%MatrixMarket banner")
+        _, obj, layout, field, symmetry = parts
+        if obj != "matrix" or layout != "coordinate":
+            raise IngestError(
+                f"{stream_path}: only 'matrix coordinate' files are supported "
+                f"(got {obj!r} {layout!r})"
+            )
+        if field not in ("real", "integer", "pattern"):
+            raise IngestError(f"{stream_path}: unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise IngestError(f"{stream_path}: unsupported symmetry {symmetry!r}")
+        lines = _data_lines(stream, comments=("%",))
+        try:
+            lineno, size_fields = next(lines)
+        except StopIteration:
+            raise IngestError(f"{stream_path}: missing size line") from None
+        try:
+            rows, cols, nnz = (int(f) for f in size_fields)
+        except ValueError:
+            raise IngestError(f"{stream_path}:{lineno}: malformed size line {size_fields!r}") from None
+        if rows != cols:
+            raise IngestError(
+                f"{stream_path}: adjacency ingestion needs a square matrix (got {rows}×{cols})"
+            )
+        expected_fields = 2 if field == "pattern" else 3
+        columns = _ChunkedColumns()
+        for lineno, fields in lines:
+            if len(fields) != expected_fields:
+                raise IngestError(
+                    f"{stream_path}:{lineno}: expected {expected_fields} fields, got {len(fields)}"
+                )
+            try:
+                i = int(fields[0])
+                j = int(fields[1])
+                w = float(fields[2]) if expected_fields == 3 else 1.0
+            except ValueError:
+                raise IngestError(
+                    f"{stream_path}:{lineno}: non-numeric field in {fields!r}"
+                ) from None
+            if not (1 <= i <= rows and 1 <= j <= cols):
+                raise IngestError(f"{stream_path}:{lineno}: index out of range in {fields!r}")
+            columns.append(i - 1, j - 1, w)
+    if columns.count != nnz:
+        raise IngestError(
+            f"{stream_path}: size line declares {nnz} entries but {columns.count} were found"
+        )
+    u_arr, v_arr, w_arr = columns.arrays()
+    info: dict[str, Any] = {
+        "format": "matrix-market",
+        "field": field,
+        "symmetry": symmetry,
+        "entries": int(nnz),
+        "weighted": field != "pattern",
+    }
+    graph = _edges_to_graph(u_arr, v_arr, w_arr, num_vertices=rows, relabel=False, info=info)
+    return graph, info
+
+
+# --------------------------------------------------------------------------- #
+# DIMACS
+# --------------------------------------------------------------------------- #
+def load_dimacs(path: str | os.PathLike[str]) -> tuple[Graph, dict[str, Any]]:
+    """Parse a DIMACS graph file (``p edge``, ``e u v [w]``, 1-based ids)."""
+    num_vertices: int | None = None
+    declared_edges: int | None = None
+    columns = _ChunkedColumns()
+    with _open_text(path) as stream:
+        for lineno, fields in _data_lines(stream, comments=("c",)):
+            tag = fields[0]
+            if tag == "p":
+                if num_vertices is not None:
+                    raise IngestError(f"{path}:{lineno}: duplicate problem line")
+                if len(fields) != 4 or fields[1] not in ("edge", "edges", "col", "graph"):
+                    raise IngestError(f"{path}:{lineno}: malformed problem line {fields!r}")
+                try:
+                    num_vertices = int(fields[2])
+                    declared_edges = int(fields[3])
+                except ValueError:
+                    raise IngestError(
+                        f"{path}:{lineno}: non-numeric problem line {fields!r}"
+                    ) from None
+                if num_vertices < 0 or declared_edges < 0:
+                    raise IngestError(f"{path}:{lineno}: negative sizes in problem line")
+            elif tag == "e":
+                if num_vertices is None:
+                    raise IngestError(f"{path}:{lineno}: edge line before the problem line")
+                if len(fields) not in (3, 4):
+                    raise IngestError(f"{path}:{lineno}: malformed edge line {fields!r}")
+                try:
+                    u = int(fields[1])
+                    v = int(fields[2])
+                    w = float(fields[3]) if len(fields) == 4 else 1.0
+                except ValueError:
+                    raise IngestError(
+                        f"{path}:{lineno}: non-numeric field in {fields!r}"
+                    ) from None
+                if not (1 <= u <= num_vertices and 1 <= v <= num_vertices):
+                    raise IngestError(f"{path}:{lineno}: vertex id out of range in {fields!r}")
+                columns.append(u - 1, v - 1, w)
+            elif tag in ("n", "v", "d", "x"):
+                continue  # weights/annotations of other DIMACS variants
+            else:
+                raise IngestError(f"{path}:{lineno}: unknown line type {tag!r}")
+    if num_vertices is None:
+        raise IngestError(f"{path}: missing 'p edge <n> <m>' problem line")
+    u_arr, v_arr, w_arr = columns.arrays()
+    info: dict[str, Any] = {"format": "dimacs", "declared_edges": int(declared_edges or 0)}
+    graph = _edges_to_graph(
+        u_arr, v_arr, w_arr, num_vertices=num_vertices, relabel=False, info=info
+    )
+    return graph, info
+
+
+# --------------------------------------------------------------------------- #
+# Set cover text format
+# --------------------------------------------------------------------------- #
+def load_setcover_text(path: str | os.PathLike[str]) -> tuple[SetCoverInstance, dict[str, Any]]:
+    """Parse the ``p setcover`` text format into a :class:`SetCoverInstance`."""
+    num_sets: int | None = None
+    num_elements: int | None = None
+    sets: list[list[int]] = []
+    weights: list[float] = []
+    with _open_text(path) as stream:
+        for lineno, fields in _data_lines(stream):
+            tag = fields[0]
+            if tag == "p":
+                if num_sets is not None:
+                    raise IngestError(f"{path}:{lineno}: duplicate problem line")
+                if len(fields) != 4 or fields[1] != "setcover":
+                    raise IngestError(
+                        f"{path}:{lineno}: expected 'p setcover <num_sets> <num_elements>'"
+                    )
+                try:
+                    num_sets = int(fields[2])
+                    num_elements = int(fields[3])
+                except ValueError:
+                    raise IngestError(
+                        f"{path}:{lineno}: non-numeric problem line {fields!r}"
+                    ) from None
+                if num_sets < 0 or num_elements < 0:
+                    raise IngestError(f"{path}:{lineno}: negative sizes in problem line")
+            elif tag == "s":
+                if num_sets is None:
+                    raise IngestError(f"{path}:{lineno}: set line before the problem line")
+                if len(fields) < 2:
+                    raise IngestError(f"{path}:{lineno}: set line is missing its weight")
+                try:
+                    weight = float(fields[1])
+                    elements = [int(f) for f in fields[2:]]
+                except ValueError:
+                    raise IngestError(
+                        f"{path}:{lineno}: non-numeric field in set line {fields!r}"
+                    ) from None
+                weights.append(weight)
+                sets.append(elements)
+            else:
+                raise IngestError(f"{path}:{lineno}: unknown line type {tag!r}")
+    if num_sets is None or num_elements is None:
+        raise IngestError(f"{path}: missing 'p setcover <num_sets> <num_elements>' line")
+    if len(sets) != num_sets:
+        raise IngestError(
+            f"{path}: problem line declares {num_sets} sets but {len(sets)} 's' lines were found"
+        )
+    try:
+        instance = SetCoverInstance(
+            sets, np.asarray(weights, dtype=np.float64), num_elements=num_elements
+        )
+    except (ValueError, InfeasibleInstanceError) as exc:
+        raise IngestError(f"{path}: invalid set cover instance: {exc}") from exc
+    info: dict[str, Any] = {
+        "format": "setcover",
+        "num_sets": instance.num_sets,
+        "num_elements": instance.num_elements,
+        "frequency": instance.frequency,
+        "max_set_size": instance.max_set_size,
+    }
+    return instance, info
+
+
+# --------------------------------------------------------------------------- #
+# Format detection and the dispatching loader
+# --------------------------------------------------------------------------- #
+#: Parser registry: format name → loader returning ``(object, info)``.
+FORMATS: dict[str, Callable[[str], tuple[Graph | SetCoverInstance, dict[str, Any]]]] = {
+    "edgelist": load_edgelist,
+    "matrix-market": load_matrix_market,
+    "dimacs": load_dimacs,
+    "setcover": load_setcover_text,
+}
+
+_EXTENSION_FORMATS = {
+    ".mtx": "matrix-market",
+    ".mm": "matrix-market",
+    ".col": "dimacs",
+    ".clq": "dimacs",
+    ".dimacs": "dimacs",
+    ".sc": "setcover",
+    ".setcover": "setcover",
+    ".txt": "edgelist",
+    ".edges": "edgelist",
+    ".edgelist": "edgelist",
+    ".snap": "edgelist",
+    ".tsv": "edgelist",
+}
+
+
+def detect_format(path: str | os.PathLike[str]) -> str:
+    """Guess a dataset file's format from its extension, then its content.
+
+    Returns one of ``"store"`` (an ``.npz`` written by
+    :func:`~repro.datasets.store.save_dataset`), the parser names in
+    :data:`FORMATS`, or raises :class:`IngestError` when nothing matches.
+    """
+    name = os.fspath(path)
+    lowered = name.lower()
+    if lowered.endswith(".gz"):
+        lowered = lowered[: -len(".gz")]
+    if lowered.endswith(".npz"):
+        return "store"
+    ext = os.path.splitext(lowered)[1]
+    if ext in _EXTENSION_FORMATS:
+        return _EXTENSION_FORMATS[ext]
+    # Content sniff: look at the first data line.
+    try:
+        with _open_text(path) as stream:
+            first = stream.readline()
+            if first.lower().startswith("%%matrixmarket"):
+                return "matrix-market"
+            while first:
+                stripped = first.strip()
+                if stripped and not stripped.startswith(("#", "%")):
+                    break
+                first = stream.readline()
+            stripped = first.strip()
+    except OSError as exc:
+        raise IngestError(f"cannot read {name!r}: {exc}") from exc
+    if not stripped:
+        raise IngestError(f"{name}: empty file, cannot detect format")
+    fields = stripped.split()
+    if fields[0] == "p":
+        return "setcover" if len(fields) > 1 and fields[1] == "setcover" else "dimacs"
+    if fields[0] in ("c", "e"):
+        return "dimacs"
+    if fields[0] == "s":
+        return "setcover"
+    return "edgelist"
+
+
+def load_file(
+    path: str | os.PathLike[str], fmt: str | None = None
+) -> tuple[Graph | SetCoverInstance, dict[str, Any]]:
+    """Load any supported dataset file; returns ``(object, info)``.
+
+    ``fmt`` overrides format detection; ``"store"`` reads a stored
+    ``.npz`` dataset, anything else dispatches to :data:`FORMATS`.
+    """
+    if not os.path.exists(path):
+        raise IngestError(f"dataset file {os.fspath(path)!r} does not exist")
+    fmt = fmt or detect_format(path)
+    if fmt == "store":
+        header = read_header(path)
+        obj = load_dataset(path)
+        return obj, {"format": "store", "header": header}
+    if fmt not in FORMATS:
+        raise IngestError(f"unknown dataset format {fmt!r}; choose from {sorted(FORMATS)}")
+    return FORMATS[fmt](os.fspath(path))

@@ -1,0 +1,359 @@
+"""Named workload scenarios: one string that resolves to a full workload.
+
+A *scenario* answers "what input should this experiment run on?" with a
+single spec string, so every driver (`figure1`, `scaling`, `ablation`) and
+the CLI can be pointed at any workload without new code:
+
+* **named scenarios** (``"social-sparse"``, ``"powerlaw-dense"``,
+  ``"bipartite-b-matching"``, ``"coverage-planning"``) resolve to a
+  generator configuration.  They build deterministically from the RNG they
+  are handed, and the size-parameterisable ones also support
+  :meth:`Scenario.build_sized` for scaling sweeps;
+* **file scenarios** (``file:<path>``) resolve to a dataset on disk — a
+  stored ``.npz`` instance (:mod:`repro.datasets.store`) or any raw format
+  :mod:`repro.datasets.ingest` can parse.  They have a fixed size and
+  ignore the RNG.
+
+Scenario specs are plain strings, so they travel inside
+:class:`~repro.backends.SweepPoint` kwargs: sweeps over scenarios get
+multiprocessing and result-caching from :mod:`repro.backends` for free.
+To make a point's cache signature track the *content* of a file scenario
+(not just its path), sweep drivers pass specs through
+:func:`canonical_scenario_spec`, which pins a ``#sha256=<fingerprint>``
+fragment onto ``file:`` specs.  Re-converting a dataset at the same path
+changes the fingerprint — and therefore the cache key — and resolving a
+pinned spec against a file whose content no longer matches fails loudly
+instead of computing on the wrong data.
+
+File scenarios are loaded through a small stat-invalidated cache, so the
+many resolutions a sweep performs (validation, row selection, one per
+point) parse each dataset once per process rather than once per use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..graphs.generators import (
+    edge_count_for_exponent,
+    power_law_graph,
+    random_bipartite_graph,
+    with_random_weights,
+)
+from ..graphs.graph import Graph
+from ..setcover.generators import random_coverage_instance
+from ..setcover.instance import SetCoverInstance
+from .ingest import load_file
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "build_scenario_sized",
+    "canonical_scenario_spec",
+    "ensure_edge_weights",
+    "file_fingerprint",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_names",
+    "scenario_params",
+]
+
+#: Prefix marking file-backed scenario specs.
+FILE_PREFIX = "file:"
+
+#: Fragment marker pinning a file scenario to a content fingerprint.
+_FINGERPRINT_MARKER = "#sha256="
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload: a kind, a builder, and (optionally) a sized builder."""
+
+    name: str
+    kind: str  # "graph" | "setcover"
+    description: str
+    build: Callable[[np.random.Generator], Any] = field(repr=False)
+    build_sized: Callable[[int, np.random.Generator], Any] | None = field(
+        default=None, repr=False
+    )
+    source: str = "generator"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("graph", "setcover"):
+            raise ValueError(f"scenario kind must be 'graph' or 'setcover', not {self.kind!r}")
+
+    @property
+    def sized(self) -> bool:
+        """Whether the scenario can be built at an arbitrary size ``n``."""
+        return self.build_sized is not None
+
+
+# --------------------------------------------------------------------------- #
+# The built-in registry
+# --------------------------------------------------------------------------- #
+def _social_sparse(n: int, rng: np.random.Generator) -> Graph:
+    # Sparse social-network shape: heavy-tailed degrees, c ≈ 0.12 (the low
+    # end of the densification exponents Leskovec et al. report).
+    return power_law_graph(n, edge_count_for_exponent(n, 0.12), rng, exponent=2.3)
+
+
+def _powerlaw_dense(n: int, rng: np.random.Generator) -> Graph:
+    # Dense power-law shape: c ≈ 0.45, flatter tail (hub-dominated).
+    return power_law_graph(n, edge_count_for_exponent(n, 0.45), rng, exponent=2.1)
+
+
+def _bipartite_b_matching(n: int, rng: np.random.Generator) -> Graph:
+    # Assignment-style workload for the (b-)matching experiments: two sides,
+    # weighted edges, m = n^{1.3} capped at the bipartite maximum.
+    left = n // 2
+    right = n - left
+    m = min(edge_count_for_exponent(n, 0.3), left * right)
+    return random_bipartite_graph(left, right, m, rng, weights="uniform")
+
+
+def _coverage_planning(n: int, rng: np.random.Generator) -> SetCoverInstance:
+    # Facility/coverage planning shape for the greedy regime (m ≪ n): many
+    # candidate sites, few demand points, weighted sites.
+    return random_coverage_instance(n, max(20, n // 4), rng, density=0.08)
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> Scenario:
+    """Add a scenario to the registry (used by tests and downstream code)."""
+    if not overwrite and scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    if scenario.name.startswith(FILE_PREFIX):
+        raise ValueError(f"scenario names must not start with {FILE_PREFIX!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+register_scenario(
+    Scenario(
+        name="social-sparse",
+        kind="graph",
+        description="sparse power-law social graph (c≈0.12, tail exponent 2.3)",
+        build=lambda rng: _social_sparse(300, rng),
+        build_sized=_social_sparse,
+    )
+)
+register_scenario(
+    Scenario(
+        name="powerlaw-dense",
+        kind="graph",
+        description="dense power-law graph (c≈0.45, hub-dominated tail 2.1)",
+        build=lambda rng: _powerlaw_dense(180, rng),
+        build_sized=_powerlaw_dense,
+    )
+)
+register_scenario(
+    Scenario(
+        name="bipartite-b-matching",
+        kind="graph",
+        description="weighted bipartite assignment graph (m=n^1.3, two equal sides)",
+        build=lambda rng: _bipartite_b_matching(160, rng),
+        build_sized=_bipartite_b_matching,
+    )
+)
+register_scenario(
+    Scenario(
+        name="coverage-planning",
+        kind="setcover",
+        description="coverage-planning set cover (m≪n, density 0.08, weighted sites)",
+        build=lambda rng: _coverage_planning(220, rng),
+        build_sized=_coverage_planning,
+    )
+)
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+# --------------------------------------------------------------------------- #
+# Resolution
+# --------------------------------------------------------------------------- #
+def file_fingerprint(path: str | os.PathLike[str]) -> str:
+    """Short content fingerprint of a dataset file (leading sha256 hex)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()[:16]
+
+
+def _split_file_spec(spec: str) -> tuple[str, str | None]:
+    """Split ``file:<path>[#sha256=<fp>]`` into the path and pinned fingerprint."""
+    body = spec[len(FILE_PREFIX) :]
+    if _FINGERPRINT_MARKER in body:
+        path, _, pinned = body.rpartition(_FINGERPRINT_MARKER)
+        return path, pinned
+    return body, None
+
+
+#: Stat-invalidated cache of loaded file scenarios:
+#: abspath → ((mtime_ns, size), fingerprint, object, ingest info).
+_FILE_CACHE: dict[str, tuple[tuple[int, int], str, Any, dict[str, Any]]] = {}
+_FILE_CACHE_MAX = 8
+
+
+def _load_file_scenario(path: str) -> tuple[str, Any, dict[str, Any]]:
+    """Load (or reuse) a file scenario's dataset; returns (fingerprint, obj, info)."""
+    key = os.path.abspath(path)
+    try:
+        stat = os.stat(key)
+    except OSError as exc:
+        raise ValueError(f"cannot read dataset file {path!r}: {exc}") from exc
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    hit = _FILE_CACHE.get(key)
+    if hit is not None and hit[0] == stamp:
+        return hit[1], hit[2], hit[3]
+    fingerprint = file_fingerprint(key)
+    obj, info = load_file(key)
+    if len(_FILE_CACHE) >= _FILE_CACHE_MAX:
+        _FILE_CACHE.pop(next(iter(_FILE_CACHE)))
+    _FILE_CACHE[key] = (stamp, fingerprint, obj, info)
+    return fingerprint, obj, info
+
+
+def resolve_scenario(spec: str) -> Scenario:
+    """Resolve a scenario spec (a registry name or ``file:<path>``).
+
+    File scenarios load the dataset at resolution time (through a small
+    stat-invalidated cache); their ``build`` ignores the RNG — the
+    workload is exactly what is on disk.  A spec carrying a pinned
+    ``#sha256=<fingerprint>`` fragment (see
+    :func:`canonical_scenario_spec`) is checked against the file's actual
+    content and mismatches fail loudly.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"scenario spec must be a non-empty string, not {spec!r}")
+    if spec.startswith(FILE_PREFIX):
+        path, pinned = _split_file_spec(spec)
+        if not path:
+            raise ValueError("file scenario is missing its path (use 'file:<path>')")
+        fingerprint, obj, info = _load_file_scenario(path)
+        if pinned is not None and pinned != fingerprint:
+            raise ValueError(
+                f"dataset file {path!r} no longer matches this scenario spec "
+                f"(content fingerprint {fingerprint}, spec pins {pinned}); "
+                "re-run with the bare 'file:' spec to use the current file"
+            )
+        kind = "graph" if isinstance(obj, Graph) else "setcover"
+        return Scenario(
+            name=spec,
+            kind=kind,
+            description=f"dataset file {path} ({info.get('format', '?')})",
+            build=lambda rng, _obj=obj: _obj,
+            build_sized=None,
+            source=spec,
+        )
+    if spec not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {spec!r}; choose one of {scenario_names()} "
+            f"or a dataset via 'file:<path>'"
+        )
+    return SCENARIOS[spec]
+
+
+def canonical_scenario_spec(spec: str) -> str:
+    """Pin a ``file:`` spec to its current content fingerprint.
+
+    Sweep drivers call this before putting a spec into point kwargs, so a
+    point's cache signature tracks the dataset's *content*: re-converting
+    a file at the same path changes the fingerprint, which changes the
+    cache key — stale cached results cannot be replayed silently.  Named
+    scenarios (and already-pinned specs) pass through unchanged.
+    """
+    if not spec.startswith(FILE_PREFIX):
+        return spec
+    path, pinned = _split_file_spec(spec)
+    if pinned is not None:
+        return spec
+    fingerprint, _, _ = _load_file_scenario(path)
+    return f"{FILE_PREFIX}{path}{_FINGERPRINT_MARKER}{fingerprint}"
+
+
+def scenario_params(spec: str | None) -> dict[str, Any]:
+    """The parameter entry scenario-driven experiment records carry."""
+    return {} if spec is None else {"scenario": spec}
+
+
+def _check_kind(scenario: Scenario, expect: str | None, context: str | None) -> None:
+    if expect is not None and scenario.kind != expect:
+        what = {"graph": "a graph", "setcover": "a set cover instance"}
+        where = f" but {context} needs {what[expect]}" if context else f"; expected {expect}"
+        raise ValueError(
+            f"scenario {scenario.name!r} provides {what[scenario.kind]}{where}"
+        )
+
+
+def build_scenario(
+    spec: str,
+    rng: np.random.Generator,
+    *,
+    expect: str | None = None,
+    context: str | None = None,
+) -> Graph | SetCoverInstance:
+    """Resolve ``spec`` and build its workload from ``rng``.
+
+    ``expect`` (``"graph"`` or ``"setcover"``) asserts the workload kind;
+    ``context`` names the caller in the error message.
+    """
+    scenario = resolve_scenario(spec)
+    _check_kind(scenario, expect, context)
+    return scenario.build(rng)
+
+
+def build_scenario_sized(
+    spec: str,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    expect: str | None = None,
+    context: str | None = None,
+) -> Graph | SetCoverInstance:
+    """Like :func:`build_scenario` but at an explicit size ``n``.
+
+    Raises ``ValueError`` for fixed-size scenarios (``file:`` datasets),
+    which cannot be rebuilt at an arbitrary size.
+    """
+    scenario = resolve_scenario(spec)
+    _check_kind(scenario, expect, context)
+    if not scenario.sized:
+        raise ValueError(
+            f"scenario {scenario.name!r} has a fixed size and cannot be rebuilt at n={n}; "
+            "size sweeps need a generator-backed scenario"
+        )
+    assert scenario.build_sized is not None
+    return scenario.build_sized(int(n), rng)
+
+
+def ensure_edge_weights(
+    graph: Graph,
+    rng: np.random.Generator,
+    *,
+    distribution: str = "uniform",
+    weight_range: tuple[float, float] = (1.0, 100.0),
+) -> Graph:
+    """Give an unweighted scenario graph random edge weights.
+
+    Weighted experiments (matching, b-matching) call this on scenario
+    workloads: a graph whose weights are all 1.0 (the "unweighted" marker)
+    gets fresh weights drawn from ``rng``; a graph that carries real
+    weights (e.g. from a weighted dataset file) is returned untouched.
+    """
+    if graph.num_edges and np.all(graph.weights == 1.0):
+        return with_random_weights(
+            graph, rng, distribution=distribution, weight_range=weight_range
+        )
+    return graph

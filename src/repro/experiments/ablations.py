@@ -35,6 +35,13 @@ from ..core.local_ratio import (
     randomized_local_ratio_matching,
     randomized_local_ratio_set_cover,
 )
+from ..datasets import (
+    build_scenario,
+    canonical_scenario_spec,
+    ensure_edge_weights,
+    resolve_scenario,
+    scenario_params,
+)
 from ..graphs import densified_graph
 from ..setcover import random_coverage_instance
 from .harness import ExperimentRecord
@@ -49,6 +56,31 @@ def _point_seeds(rng: np.random.Generator) -> tuple[int, int]:
     return workload_seed, base_seed
 
 
+def _workload_graph(
+    workload_rng: np.random.Generator,
+    *,
+    n: int,
+    c: float,
+    scenario: str | None,
+    context: str,
+):
+    """The shared sweep graph: densified generator, or a scenario workload."""
+    if scenario is None:
+        return densified_graph(n, c, workload_rng, weights="uniform")
+    graph = build_scenario(scenario, workload_rng, expect="graph", context=context)
+    return ensure_edge_weights(graph, workload_rng)
+
+
+def _require_scenario_kind(scenario: str | None, kind: str, context: str) -> str | None:
+    """Validate a sweep's scenario kind; returns the canonical (pinned) spec."""
+    if scenario is None:
+        return None
+    if resolve_scenario(scenario).kind != kind:
+        what = "a graph" if kind == "graph" else "a set cover instance"
+        raise ValueError(f"{context} needs {what} scenario, not {scenario!r}")
+    return canonical_scenario_spec(scenario)
+
+
 # --------------------------------------------------------------------------- #
 # µ sweep
 # --------------------------------------------------------------------------- #
@@ -60,10 +92,14 @@ def _mu_point(
     c: float,
     mu: float,
     algorithm: str,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """One cell of the µ sweep (workload rebuilt from ``workload_seed``)."""
     workload_rng = np.random.default_rng(workload_seed)
-    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    graph = _workload_graph(
+        workload_rng, n=n, c=c, scenario=scenario, context=f"ablation-mu-{algorithm}"
+    )
+    n, c = graph.num_vertices, (c if scenario is None else round(graph.densification_exponent(), 4))
     vertex_weights = workload_rng.uniform(1.0, 20.0, size=n)
     if algorithm == "matching":
         _, metrics = mpc_weighted_matching(graph, mu, rng)
@@ -73,7 +109,8 @@ def _mu_point(
         _, metrics = mpc_maximal_independent_set(graph, mu, rng)
     return ExperimentRecord(
         experiment=f"ablation-mu-{algorithm}",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu}
+        | scenario_params(scenario),
         metrics={
             "rounds": float(metrics.num_rounds),
             "max_space_per_machine": float(metrics.max_space_per_machine),
@@ -89,13 +126,20 @@ def sweep_mu(
     c: float = 0.45,
     mus: Sequence[float] = (0.15, 0.25, 0.35, 0.5),
     algorithm: str = "matching",
+    scenario: str | None = None,
     backend: Backend | str | None = None,
     jobs: int | None = None,
     cache: ResultCache | str | None = None,
 ) -> list[ExperimentRecord]:
-    """Measure rounds as a function of ``µ`` for one of the ``O(c/µ)``-round algorithms."""
+    """Measure rounds as a function of ``µ`` for one of the ``O(c/µ)``-round algorithms.
+
+    With ``scenario`` set the shared workload is the scenario graph (any
+    graph scenario, ``file:`` datasets included) instead of the densified
+    generator.
+    """
     if algorithm not in ("matching", "vertex-cover", "mis"):
         raise ValueError("algorithm must be 'matching', 'vertex-cover' or 'mis'")
+    scenario = _require_scenario_kind(scenario, "graph", f"ablation-mu-{algorithm}")
     workload_seed, base_seed = _point_seeds(rng)
     points = [
         SweepPoint(
@@ -107,7 +151,8 @@ def sweep_mu(
                 "c": c,
                 "mu": float(mu),
                 "algorithm": algorithm,
-            },
+            }
+            | scenario_params(scenario),
             seed=(base_seed, index),
         )
         for index, mu in enumerate(mus)
@@ -125,14 +170,20 @@ def _eta_matching_point(
     n: int,
     c: float,
     exponent: float,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     workload_rng = np.random.default_rng(workload_seed)
-    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    graph = _workload_graph(
+        workload_rng, n=n, c=c, scenario=scenario, context="ablation-eta-matching"
+    )
+    if scenario is not None:
+        n = graph.num_vertices
     eta = max(1, int(round(n**exponent)))
     result = randomized_local_ratio_matching(graph, eta, rng)
     return ExperimentRecord(
         experiment="ablation-eta-matching",
-        parameters={"n": n, "m": graph.num_edges, "eta": eta, "exponent": exponent},
+        parameters={"n": n, "m": graph.num_edges, "eta": eta, "exponent": exponent}
+        | scenario_params(scenario),
         metrics={
             "iterations": float(result.num_iterations),
             "stack_size": float(result.stack_size),
@@ -147,14 +198,22 @@ def _eta_set_cover_point(
     workload_seed: int,
     n: int,
     exponent: float,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     workload_rng = np.random.default_rng(workload_seed)
-    instance = random_coverage_instance(n, 8 * n, workload_rng, density=0.02)
+    if scenario is None:
+        instance = random_coverage_instance(n, 8 * n, workload_rng, density=0.02)
+    else:
+        instance = build_scenario(
+            scenario, workload_rng, expect="setcover", context="ablation-eta-set-cover"
+        )
+        n = instance.num_sets
     eta = max(1, int(round(n**exponent)))
     result = randomized_local_ratio_set_cover(instance, eta, rng)
     return ExperimentRecord(
         experiment="ablation-eta-set-cover",
-        parameters={"n": n, "m": instance.num_elements, "eta": eta},
+        parameters={"n": n, "m": instance.num_elements, "eta": eta}
+        | scenario_params(scenario),
         metrics={
             "iterations": float(result.num_iterations),
             "weight": result.weight,
@@ -169,6 +228,7 @@ def sweep_sample_budget(
     c: float = 0.45,
     exponents: Sequence[float] = (1.0, 1.15, 1.3),
     problem: str = "matching",
+    scenario: str | None = None,
     backend: Backend | str | None = None,
     jobs: int | None = None,
     cache: ResultCache | str | None = None,
@@ -176,6 +236,9 @@ def sweep_sample_budget(
     """Measure sampling iterations as the per-round budget ``η = n^{exponent}`` grows."""
     if problem not in ("matching", "set-cover"):
         raise ValueError("problem must be 'matching' or 'set-cover'")
+    scenario = _require_scenario_kind(
+        scenario, "graph" if problem == "matching" else "setcover", f"ablation-eta-{problem}"
+    )
     workload_seed, base_seed = _point_seeds(rng)
     points: list[SweepPoint] = []
     for index, exponent in enumerate(exponents):
@@ -192,6 +255,8 @@ def sweep_sample_budget(
                 "n": n,
                 "exponent": float(exponent),
             }
+        if scenario is not None:
+            kwargs["scenario"] = scenario
         points.append(
             SweepPoint(
                 experiment=f"ablation-eta-{problem}",
@@ -212,13 +277,20 @@ def _epsilon_set_cover_point(
     workload_seed: int,
     epsilon: float,
     mu: float,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     workload_rng = np.random.default_rng(workload_seed)
-    instance = random_coverage_instance(180, 50, workload_rng, density=0.08)
+    if scenario is None:
+        instance = random_coverage_instance(180, 50, workload_rng, density=0.08)
+    else:
+        instance = build_scenario(
+            scenario, workload_rng, expect="setcover", context="ablation-epsilon-set-cover"
+        )
     result, metrics = mpc_greedy_set_cover(instance, mu, rng, epsilon=epsilon)
     return ExperimentRecord(
         experiment="ablation-epsilon-set-cover",
-        parameters={"epsilon": epsilon, "mu": mu},
+        parameters={"epsilon": epsilon, "mu": mu}
+        | scenario_params(scenario),
         metrics={
             "weight": result.weight,
             "rounds": float(metrics.num_rounds),
@@ -236,13 +308,17 @@ def _epsilon_b_matching_point(
     b: int,
     mu: float,
     epsilon: float,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     workload_rng = np.random.default_rng(workload_seed)
-    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    graph = _workload_graph(
+        workload_rng, n=n, c=c, scenario=scenario, context="ablation-epsilon-b-matching"
+    )
     result, metrics = mpc_weighted_b_matching(graph, b, mu, rng, epsilon=epsilon)
     return ExperimentRecord(
         experiment="ablation-epsilon-b-matching",
-        parameters={"epsilon": epsilon, "b": b, "mu": mu},
+        parameters={"epsilon": epsilon, "b": b, "mu": mu}
+        | scenario_params(scenario),
         metrics={
             "weight": result.weight,
             "rounds": float(metrics.num_rounds),
@@ -259,6 +335,7 @@ def sweep_epsilon(
     c: float = 0.45,
     b: int = 3,
     mu: float = 0.3,
+    scenario: str | None = None,
     backend: Backend | str | None = None,
     jobs: int | None = None,
     cache: ResultCache | str | None = None,
@@ -266,6 +343,9 @@ def sweep_epsilon(
     """Trade approximation quality against rounds via ``ε`` (Algorithm 3 / Algorithm 7)."""
     if problem not in ("set-cover", "b-matching"):
         raise ValueError("problem must be 'set-cover' or 'b-matching'")
+    scenario = _require_scenario_kind(
+        scenario, "setcover" if problem == "set-cover" else "graph", f"ablation-epsilon-{problem}"
+    )
     workload_seed, base_seed = _point_seeds(rng)
     points: list[SweepPoint] = []
     for index, epsilon in enumerate(epsilons):
@@ -284,6 +364,8 @@ def sweep_epsilon(
                 "mu": mu,
                 "epsilon": float(epsilon),
             }
+        if scenario is not None:
+            kwargs["scenario"] = scenario
         points.append(
             SweepPoint(
                 experiment=f"ablation-epsilon-{problem}",

@@ -53,6 +53,13 @@ from ..core.local_ratio import (
     mpc_weighted_set_cover,
     mpc_weighted_vertex_cover,
 )
+from ..datasets import (
+    build_scenario,
+    canonical_scenario_spec,
+    ensure_edge_weights,
+    resolve_scenario,
+    scenario_params,
+)
 from ..graphs import (
     densified_graph,
     is_b_matching,
@@ -82,9 +89,45 @@ __all__ = [
     "vertex_colouring_experiment",
     "edge_colouring_experiment",
     "FIGURE1_EXPERIMENTS",
+    "FIGURE1_WORKLOAD_KINDS",
     "figure1_points",
     "run_figure1",
+    "scenario_experiments",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Scenario plumbing
+# --------------------------------------------------------------------------- #
+def _experiment_graph(
+    scenario: str | None,
+    rng: np.random.Generator,
+    *,
+    experiment: str,
+    n: int,
+    c: float,
+    weighted: bool = False,
+    weight_range: tuple[float, float] = (1.0, 100.0),
+):
+    """The graph workload of one Figure-1 row; returns ``(graph, n, c)``.
+
+    Without a scenario this is the built-in densified generator at the
+    requested ``(n, c)``.  With one, the scenario workload is built from
+    the point RNG and ``n``/``c`` are refreshed to the actual graph (so
+    records and bounds describe what really ran).  Weighted experiments
+    get :func:`ensure_edge_weights` semantics: an unweighted scenario
+    graph receives random weights from the point RNG, a dataset that
+    carries its own weights keeps them.
+    """
+    if scenario is None:
+        graph = densified_graph(
+            n, c, rng, weights="uniform" if weighted else None, weight_range=weight_range
+        )
+        return graph, n, c
+    graph = build_scenario(scenario, rng, expect="graph", context=experiment)
+    if weighted:
+        graph = ensure_edge_weights(graph, rng, weight_range=weight_range)
+    return graph, graph.num_vertices, round(graph.densification_exponent(), 4)
 
 
 # --------------------------------------------------------------------------- #
@@ -98,9 +141,10 @@ def vertex_cover_experiment(
     mu: float = 0.25,
     weight_range: tuple[float, float] = (1.0, 20.0),
     include_lp: bool = True,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Vertex Cover / weighted / 2 / O(c/µ) / O(n^{1+µ})" (Theorem 2.4)."""
-    graph = densified_graph(n, c, rng)
+    graph, n, c = _experiment_graph(scenario, rng, experiment="fig1-vertex-cover", n=n, c=c)
     vertex_weights = rng.uniform(*weight_range, size=n)
     result, metrics = mpc_weighted_vertex_cover(graph, vertex_weights, mu, rng)
     assert is_vertex_cover(graph, result.chosen_sets), "MPC vertex cover is infeasible"
@@ -108,7 +152,7 @@ def vertex_cover_experiment(
 
     record = ExperimentRecord(
         experiment="fig1-vertex-cover",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, **scenario_params(scenario)},
         bounds={
             "approximation": bound.approximation,
             "rounds": bound.rounds,
@@ -141,9 +185,14 @@ def set_cover_f_experiment(
     max_frequency: int = 4,
     mu: float = 0.25,
     include_lp: bool = True,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Set Cover / weighted / f / O((c/µ)²) / O(f·n^{1+µ})" (Theorem 2.4)."""
-    instance = random_frequency_bounded_instance(num_sets, num_elements, max_frequency, rng)
+    if scenario is None:
+        instance = random_frequency_bounded_instance(num_sets, num_elements, max_frequency, rng)
+    else:
+        instance = build_scenario(scenario, rng, expect="setcover", context="fig1-set-cover-f")
+        num_sets, num_elements = instance.num_sets, instance.num_elements
     result, metrics = mpc_weighted_set_cover(instance, mu, rng)
     assert is_cover(instance, result.chosen_sets), "MPC set cover is infeasible"
     bound = theory.set_cover_f_bound(num_sets, num_elements, instance.frequency, mu)
@@ -155,6 +204,7 @@ def set_cover_f_experiment(
             "m": num_elements,
             "f": instance.frequency,
             "mu": mu,
+            **scenario_params(scenario),
         },
         bounds={
             "approximation": bound.approximation,
@@ -185,9 +235,16 @@ def set_cover_greedy_experiment(
     mu: float = 0.4,
     epsilon: float = 0.2,
     include_lp: bool = True,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Set Cover / weighted / (1+ε)ln∆" (Theorem 4.6)."""
-    instance = random_coverage_instance(num_sets, num_elements, rng, density=density)
+    if scenario is None:
+        instance = random_coverage_instance(num_sets, num_elements, rng, density=density)
+    else:
+        instance = build_scenario(
+            scenario, rng, expect="setcover", context="fig1-set-cover-greedy"
+        )
+        num_sets, num_elements = instance.num_sets, instance.num_elements
     result, metrics = mpc_greedy_set_cover(instance, mu, rng, epsilon=epsilon)
     assert is_cover(instance, result.chosen_sets), "MPC greedy set cover is infeasible"
     bound = theory.set_cover_greedy_bound(
@@ -202,6 +259,7 @@ def set_cover_greedy_experiment(
             "delta": instance.max_set_size,
             "mu": mu,
             "epsilon": epsilon,
+            **scenario_params(scenario),
         },
         bounds={
             "approximation": bound.approximation,
@@ -234,9 +292,10 @@ def mis_experiment(
     c: float = 0.45,
     mu: float = 0.3,
     simple: bool = False,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Maximal Indep. Set / O(c/µ) / O(n^{1+µ})" (Theorem A.3 / 3.3)."""
-    graph = densified_graph(n, c, rng)
+    graph, n, c = _experiment_graph(scenario, rng, experiment="fig1-mis", n=n, c=c)
     if simple:
         result, metrics = mpc_maximal_independent_set_simple(graph, mu, rng)
     else:
@@ -246,7 +305,7 @@ def mis_experiment(
 
     record = ExperimentRecord(
         experiment="fig1-mis" + ("-simple" if simple else ""),
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, **scenario_params(scenario)},
         bounds={
             "rounds": bound.rounds,
             "space_per_machine": bound.space_per_machine,
@@ -269,16 +328,17 @@ def maximal_clique_experiment(
     n: int = 90,
     c: float = 0.55,
     mu: float = 0.35,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Maximal Clique / O(1/µ) / O(n^{1+µ})" (Corollary B.1)."""
-    graph = densified_graph(n, c, rng)
+    graph, n, c = _experiment_graph(scenario, rng, experiment="fig1-maximal-clique", n=n, c=c)
     result, metrics = mpc_maximal_clique(graph, mu, rng)
     assert is_maximal_clique(graph, result.vertices), "clique is not maximal"
     bound = theory.maximal_clique_bound(n, mu)
 
     record = ExperimentRecord(
         experiment="fig1-maximal-clique",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, **scenario_params(scenario)},
         bounds={
             "rounds": bound.rounds,
             "space_per_machine": bound.space_per_machine,
@@ -303,16 +363,20 @@ def matching_experiment(
     mu: float = 0.25,
     weight_range: tuple[float, float] = (1.0, 100.0),
     include_exact: bool = True,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Matching / weighted / 2 / O(c/µ) / O(n^{1+µ})" (Theorem 5.6)."""
-    graph = densified_graph(n, c, rng, weights="uniform", weight_range=weight_range)
+    graph, n, c = _experiment_graph(
+        scenario, rng, experiment="fig1-matching", n=n, c=c,
+        weighted=True, weight_range=weight_range,
+    )
     result, metrics = mpc_weighted_matching(graph, mu, rng)
     assert is_matching(graph, result.edge_ids), "matching is infeasible"
     bound = theory.matching_bound(n, graph.num_edges, mu)
 
     record = ExperimentRecord(
         experiment="fig1-matching",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, **scenario_params(scenario)},
         bounds={
             "approximation": bound.approximation,
             "rounds": bound.rounds,
@@ -345,9 +409,13 @@ def matching_mu0_experiment(
     n: int = 150,
     c: float = 0.4,
     weight_range: tuple[float, float] = (1.0, 100.0),
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Appendix C: weighted matching with ``O(n)`` space per machine in ``O(log n)`` rounds."""
-    graph = densified_graph(n, c, rng, weights="uniform", weight_range=weight_range)
+    graph, n, c = _experiment_graph(
+        scenario, rng, experiment="fig1-matching-mu0", n=n, c=c,
+        weighted=True, weight_range=weight_range,
+    )
     # µ = 0 configuration: η = n.  We pass a tiny µ for the space accounting
     # (the cluster must hold the input) but force the sample budget to n.
     result, metrics = mpc_weighted_matching(graph, 0.05, rng, eta=n)
@@ -356,7 +424,7 @@ def matching_mu0_experiment(
 
     record = ExperimentRecord(
         experiment="fig1-matching-mu0",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "eta": n},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "eta": n, **scenario_params(scenario)},
         bounds={
             "approximation": bound.approximation,
             "rounds": bound.rounds,
@@ -383,16 +451,28 @@ def b_matching_experiment(
     mu: float = 0.25,
     epsilon: float = 0.15,
     weight_range: tuple[float, float] = (1.0, 100.0),
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Appendix D: ``(3 − 2/b + 2ε)``-approximate weighted b-matching (Theorem D.3)."""
-    graph = densified_graph(n, c, rng, weights="uniform", weight_range=weight_range)
+    graph, n, c = _experiment_graph(
+        scenario, rng, experiment="fig1-b-matching", n=n, c=c,
+        weighted=True, weight_range=weight_range,
+    )
     result, metrics = mpc_weighted_b_matching(graph, b, mu, rng, epsilon=epsilon)
     assert is_b_matching(graph, result.edge_ids, b), "b-matching is infeasible"
     bound = theory.b_matching_bound(n, graph.num_edges, b, mu, epsilon)
 
     record = ExperimentRecord(
         experiment="fig1-b-matching",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "b": b, "mu": mu, "epsilon": epsilon},
+        parameters={
+            "n": n,
+            "m": graph.num_edges,
+            "c": c,
+            "b": b,
+            "mu": mu,
+            "epsilon": epsilon,
+            **scenario_params(scenario),
+        },
         bounds={
             "approximation": bound.approximation,
             "rounds": bound.rounds,
@@ -420,9 +500,10 @@ def vertex_colouring_experiment(
     n: int = 200,
     c: float = 0.45,
     mu: float = 0.2,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Vertex Colouring / (1+o(1))∆ colours / O(1) rounds" (Theorem 6.4)."""
-    graph = densified_graph(n, c, rng)
+    graph, n, c = _experiment_graph(scenario, rng, experiment="fig1-vertex-colouring", n=n, c=c)
     result, metrics = mpc_vertex_colouring(graph, mu, rng)
     assert is_proper_vertex_colouring(graph, result.colours), "vertex colouring is not proper"
     delta = graph.max_degree()
@@ -430,7 +511,14 @@ def vertex_colouring_experiment(
 
     record = ExperimentRecord(
         experiment="fig1-vertex-colouring",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, "delta": delta},
+        parameters={
+            "n": n,
+            "m": graph.num_edges,
+            "c": c,
+            "mu": mu,
+            "delta": delta,
+            **scenario_params(scenario),
+        },
         bounds={
             "colours": bound.approximation,
             "rounds": bound.rounds,
@@ -455,9 +543,10 @@ def edge_colouring_experiment(
     c: float = 0.4,
     mu: float = 0.2,
     local_algorithm: str = "misra-gries",
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """Figure 1, row "Edge Colouring / (1+o(1))∆ colours / O(1) rounds" (Theorem 6.6)."""
-    graph = densified_graph(n, c, rng)
+    graph, n, c = _experiment_graph(scenario, rng, experiment="fig1-edge-colouring", n=n, c=c)
     result, metrics = mpc_edge_colouring(graph, mu, rng, local_algorithm=local_algorithm)
     assert is_proper_edge_colouring(graph, result.colours), "edge colouring is not proper"
     delta = graph.max_degree()
@@ -465,7 +554,14 @@ def edge_colouring_experiment(
 
     record = ExperimentRecord(
         experiment="fig1-edge-colouring",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, "delta": delta},
+        parameters={
+            "n": n,
+            "m": graph.num_edges,
+            "c": c,
+            "mu": mu,
+            "delta": delta,
+            **scenario_params(scenario),
+        },
         bounds={
             "colours": bound.approximation,
             "rounds": bound.rounds,
@@ -498,6 +594,18 @@ FIGURE1_EXPERIMENTS = {
     "fig1-edge-colouring": edge_colouring_experiment,
 }
 
+#: Which workload kind each Figure-1 row consumes (scenario compatibility).
+FIGURE1_WORKLOAD_KINDS = {
+    name: ("setcover" if name.startswith("fig1-set-cover") else "graph")
+    for name in FIGURE1_EXPERIMENTS
+}
+
+
+def scenario_experiments(scenario: str) -> list[str]:
+    """The Figure-1 rows compatible with a scenario's workload kind."""
+    kind = resolve_scenario(scenario).kind
+    return [name for name, k in FIGURE1_WORKLOAD_KINDS.items() if k == kind]
+
 
 def figure1_points(
     seed: int = 0,
@@ -505,6 +613,7 @@ def figure1_points(
     experiments: list[str] | None = None,
     trials: int = 1,
     overrides: Mapping[str, Mapping[str, object]] | None = None,
+    scenario: str | None = None,
 ) -> list[SweepPoint]:
     """Build the sweep points for the (selected) Figure-1 experiments.
 
@@ -512,19 +621,32 @@ def figure1_points(
     taken from the registry order, so a point's randomness is independent of
     which subset of rows is selected and of the execution backend.
     ``overrides`` maps experiment names to keyword arguments for that row's
-    experiment function (e.g. ``{"fig1-mis": {"n": 60}}``).
+    experiment function (e.g. ``{"fig1-mis": {"n": 60}}``).  ``scenario``
+    runs every selected row on that workload instead of its built-in
+    generator (the spec string travels in the point kwargs, so caching and
+    worker processes see it).
     """
-    names = list(FIGURE1_EXPERIMENTS) if experiments is None else list(experiments)
+    if experiments is None:
+        names = scenario_experiments(scenario) if scenario is not None else list(FIGURE1_EXPERIMENTS)
+    else:
+        names = list(experiments)
+    if scenario is not None:
+        # Pin file: specs to their content fingerprint so cache signatures
+        # track the dataset's bytes, not just its path.
+        scenario = canonical_scenario_spec(scenario)
     row_index = {name: index for index, name in enumerate(FIGURE1_EXPERIMENTS)}
     points: list[SweepPoint] = []
     for name in names:
         if name not in FIGURE1_EXPERIMENTS:
             raise KeyError(f"unknown Figure-1 experiment {name!r}")
+        kwargs = dict((overrides or {}).get(name, {}))
+        if scenario is not None:
+            kwargs.setdefault("scenario", scenario)
         points.append(
             SweepPoint(
                 experiment=name,
                 fn=FIGURE1_EXPERIMENTS[name],
-                kwargs=dict((overrides or {}).get(name, {})),
+                kwargs=kwargs,
                 seed=(seed, row_index[name]),
                 trials=max(1, trials),
             )
@@ -542,6 +664,7 @@ def run_figure1(
     cache: ResultCache | str | None = None,
     reduce: str = "mean",
     overrides: Mapping[str, Mapping[str, object]] | None = None,
+    scenario: str | None = None,
 ) -> list[ExperimentRecord]:
     """Run the (selected) Figure-1 experiments and return one record per row.
 
@@ -549,11 +672,16 @@ def run_figure1(
     :func:`~repro.backends.run_sweep`, so they can run serially, fanned out
     over worker processes (``backend="mp"``), or against a disk cache; the
     records are identical in every case.  With ``trials > 1`` each row's
-    trial records are combined via :func:`aggregate_records`.
+    trial records are combined via :func:`aggregate_records`.  With
+    ``scenario`` set, rows run on that named or ``file:`` workload; when
+    ``experiments`` is not given, the selection defaults to the rows
+    compatible with the scenario's workload kind.
     """
     from .harness import aggregate_records
 
-    points = figure1_points(seed, experiments=experiments, trials=trials, overrides=overrides)
+    points = figure1_points(
+        seed, experiments=experiments, trials=trials, overrides=overrides, scenario=scenario
+    )
     results = run_sweep(points, backend=backend, jobs=jobs, cache=cache)
     records: list[ExperimentRecord] = []
     for result in results:

@@ -34,6 +34,14 @@ from ..core.local_ratio import (
     randomized_local_ratio_matching,
     randomized_local_ratio_set_cover,
 )
+from ..datasets import (
+    build_scenario,
+    build_scenario_sized,
+    canonical_scenario_spec,
+    ensure_edge_weights,
+    resolve_scenario,
+    scenario_params,
+)
 from ..graphs import densified_graph
 from ..setcover import vertex_cover_instance
 from .harness import ExperimentRecord
@@ -52,9 +60,17 @@ def _scaling_n_point(
     c: float,
     mu: float,
     algorithm: str,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     """One size of the rounds-vs-n curve (workload built from the point RNG)."""
-    graph = densified_graph(n, c, rng, weights="uniform")
+    if scenario is None:
+        graph = densified_graph(n, c, rng, weights="uniform")
+    else:
+        graph = build_scenario_sized(
+            scenario, n, rng, expect="graph", context=f"scaling-n-{algorithm}"
+        )
+        graph = ensure_edge_weights(graph, rng)
+        c = round(graph.densification_exponent(), 4)
     eta = default_eta_for_graph(graph, mu)
     metrics: dict[str, float] = {}
     if algorithm == "matching":
@@ -72,7 +88,7 @@ def _scaling_n_point(
         metrics["luby_rounds"] = float(luby_mis(graph, rng).num_iterations)
     return ExperimentRecord(
         experiment=f"scaling-n-{algorithm}",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu},
+        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, **scenario_params(scenario)},
         metrics=metrics,
         bounds={"iterations": c / mu},
     )
@@ -85,6 +101,7 @@ def rounds_vs_n(
     c: float = 0.45,
     mu: float = 0.3,
     algorithm: str = "matching",
+    scenario: str | None = None,
     backend: Backend | str | None = None,
     jobs: int | None = None,
     cache: ResultCache | str | None = None,
@@ -92,16 +109,27 @@ def rounds_vs_n(
     """Iteration count as ``n`` grows at fixed ``c`` and ``µ``.
 
     ``algorithm`` is ``"matching"``, ``"vertex-cover"`` or ``"mis"`` (the
-    latter also records Luby's round count for comparison).
+    latter also records Luby's round count for comparison).  ``scenario``
+    swaps the densified generator for a size-parameterisable scenario
+    (``file:`` scenarios have a fixed size and are rejected).
     """
     if algorithm not in ("matching", "vertex-cover", "mis"):
         raise ValueError("algorithm must be 'matching', 'vertex-cover' or 'mis'")
+    if scenario is not None:
+        resolved = resolve_scenario(scenario)
+        if resolved.kind != "graph" or not resolved.sized:
+            raise ValueError(
+                f"scaling-n needs a size-parameterisable graph scenario, "
+                f"not {scenario!r}"
+            )
+        scenario = canonical_scenario_spec(scenario)
     base = _base_seed(rng)
     points = [
         SweepPoint(
             experiment=f"scaling-n-{algorithm}",
             fn=_scaling_n_point,
-            kwargs={"n": int(n), "c": c, "mu": mu, "algorithm": algorithm},
+            kwargs={"n": int(n), "c": c, "mu": mu, "algorithm": algorithm}
+            | scenario_params(scenario),
             seed=(base, index),
         )
         for index, n in enumerate(sizes)
@@ -158,15 +186,28 @@ def _space_mu_point(
     n: int,
     c: float,
     mu: float,
+    scenario: str | None = None,
 ) -> ExperimentRecord:
     workload_rng = np.random.default_rng(workload_seed)
-    graph = densified_graph(n, c, workload_rng, weights="uniform")
+    if scenario is None:
+        graph = densified_graph(n, c, workload_rng, weights="uniform")
+    else:
+        graph = build_scenario(scenario, workload_rng, expect="graph", context="scaling-space")
+        graph = ensure_edge_weights(graph, workload_rng)
+        n, c = graph.num_vertices, round(graph.densification_exponent(), 4)
     eta = default_eta_for_graph(graph, mu)
     result = randomized_local_ratio_matching(graph, eta, rng)
     peak_sample = max((s.sample_words for s in result.iterations), default=0)
     return ExperimentRecord(
         experiment="scaling-space-matching",
-        parameters={"n": n, "m": graph.num_edges, "c": c, "mu": mu, "eta": eta},
+        parameters={
+            "n": n,
+            "m": graph.num_edges,
+            "c": c,
+            "mu": mu,
+            "eta": eta,
+            **scenario_params(scenario),
+        },
         metrics={"peak_sample_words": float(peak_sample)},
         bounds={"peak_sample_words": 24.0 * n ** (1.0 + mu)},
     )
@@ -178,6 +219,7 @@ def space_vs_mu(
     n: int = 130,
     c: float = 0.45,
     mus: Sequence[float] = (0.15, 0.3, 0.5),
+    scenario: str | None = None,
     backend: Backend | str | None = None,
     jobs: int | None = None,
     cache: ResultCache | str | None = None,
@@ -187,15 +229,22 @@ def space_vs_mu(
     The per-round sample is capped at ``8η = 8·n^{1+µ}`` incidences, so the
     measured footprint should scale like ``n^{1+µ}`` (until the whole graph
     fits in one sample).  The same graph (one ``workload_seed``) is reused
-    at every ``µ`` so footprints are comparable across the sweep.
+    at every ``µ`` so footprints are comparable across the sweep; with
+    ``scenario`` set, that shared graph is the scenario workload (any graph
+    scenario works here, ``file:`` datasets included).
     """
+    if scenario is not None:
+        if resolve_scenario(scenario).kind != "graph":
+            raise ValueError("space_vs_mu needs a graph scenario")
+        scenario = canonical_scenario_spec(scenario)
     workload_seed = _base_seed(rng)
     base = _base_seed(rng)
     points = [
         SweepPoint(
             experiment="scaling-space-matching",
             fn=_space_mu_point,
-            kwargs={"workload_seed": workload_seed, "n": n, "c": c, "mu": float(mu)},
+            kwargs={"workload_seed": workload_seed, "n": n, "c": c, "mu": float(mu)}
+            | scenario_params(scenario),
             seed=(base, index),
         )
         for index, mu in enumerate(mus)

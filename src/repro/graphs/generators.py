@@ -33,8 +33,31 @@ __all__ = [
 ]
 
 
+def _check_num_vertices(num_vertices: int, *, generator: str) -> int:
+    """Validate a generator's vertex count up front (clear error, not NumPy's)."""
+    n = int(num_vertices)
+    if n <= 0:
+        raise ValueError(
+            f"{generator}: num_vertices must be a positive integer, got {num_vertices}"
+        )
+    return n
+
+
+def _check_num_edges(num_edges: int, *, generator: str) -> int:
+    """Validate a generator's edge count up front (non-negative integer)."""
+    m = int(num_edges)
+    if m < 0:
+        raise ValueError(f"{generator}: num_edges must be non-negative, got {num_edges}")
+    return m
+
+
 def edge_count_for_exponent(num_vertices: int, c: float) -> int:
     """Number of edges ``m = round(n^{1+c})`` clamped to the simple-graph maximum."""
+    if not 0.0 <= c <= 1.0:
+        raise ValueError(
+            f"densification exponent c must be in [0, 1] (m = n^(1+c) is a "
+            f"simple graph), got {c}"
+        )
     if num_vertices < 2:
         return 0
     max_edges = num_vertices * (num_vertices - 1) // 2
@@ -97,6 +120,8 @@ def gnm_graph(
     ``weights`` may be ``None`` (unweighted), ``"uniform"`` or ``"exponential"``;
     see :func:`random_weights`.
     """
+    num_vertices = _check_num_vertices(num_vertices, generator="gnm_graph")
+    num_edges = _check_num_edges(num_edges, generator="gnm_graph")
     edges = _sample_distinct_edges(num_vertices, num_edges, rng)
     w = None
     if weights is not None:
@@ -112,7 +137,12 @@ def densified_graph(
     weights: str | None = None,
     weight_range: tuple[float, float] = (1.0, 100.0),
 ) -> Graph:
-    """A ``G(n, m)`` graph with ``m = n^{1+c}`` edges (the paper's regime)."""
+    """A ``G(n, m)`` graph with ``m = n^{1+c}`` edges (the paper's regime).
+
+    Raises ``ValueError`` for non-positive ``num_vertices`` or a
+    densification exponent outside ``[0, 1]``.
+    """
+    num_vertices = _check_num_vertices(num_vertices, generator="densified_graph")
     m = edge_count_for_exponent(num_vertices, c)
     return gnm_graph(num_vertices, m, rng, weights=weights, weight_range=weight_range)
 
@@ -132,8 +162,17 @@ def power_law_graph(
     edges are sampled by picking endpoints with probability proportional to
     those expected degrees and rejecting duplicates/self-loops until
     ``num_edges`` distinct edges are found (or no progress can be made).
+
+    Raises ``ValueError`` for non-positive ``num_vertices``, negative
+    ``num_edges``, or a tail exponent ≤ 1 (the degree distribution
+    ``(i+1)^{-1/(exponent-1)}`` needs ``exponent > 1``).
     """
-    n = num_vertices
+    n = _check_num_vertices(num_vertices, generator="power_law_graph")
+    num_edges = _check_num_edges(num_edges, generator="power_law_graph")
+    if exponent <= 1.0:
+        raise ValueError(
+            f"power_law_graph: tail exponent must be > 1, got {exponent}"
+        )
     if n < 2 or num_edges == 0:
         return Graph(n, np.empty((0, 2), dtype=np.int64))
     ranks = np.arange(1, n + 1, dtype=np.float64)

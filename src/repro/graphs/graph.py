@@ -85,6 +85,60 @@ class Graph:
         self._adj_indices: np.ndarray | None = None
         self._adj_edge_ids: np.ndarray | None = None
 
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        validate: bool = False,
+    ) -> "Graph":
+        """Build a graph directly from canonical endpoint/weight columns.
+
+        This is the zero-copy trusted constructor used by the dataset store
+        (:mod:`repro.datasets`): the caller asserts the arrays already
+        satisfy the class invariants — ``edge_u[i] < edge_v[i]``, no
+        duplicate edges, endpoints in range — so, unlike ``__init__``, no
+        re-orientation or re-validation pass runs and (memory-mapped) input
+        arrays of the right dtype are adopted as-is.  Pass ``validate=True``
+        to check the invariants anyway.
+        """
+        n = int(num_vertices)
+        u = np.asarray(edge_u, dtype=np.int64)
+        v = np.asarray(edge_v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValueError("edge_u and edge_v must be equal-length 1-D arrays")
+        if weights is None:
+            w = np.ones(len(u), dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != u.shape:
+                raise ValueError("weights must have one entry per edge")
+        if validate:
+            if n < 0:
+                raise ValueError("num_vertices must be non-negative")
+            if len(u) and (u.min() < 0 or v.max() >= n):
+                raise ValueError("edge endpoint out of range")
+            if np.any(u >= v):
+                raise ValueError("edges must be canonically oriented (u < v)")
+            if len(u):
+                keys = u * n + v
+                if len(np.unique(keys)) != len(keys):
+                    raise ValueError("parallel (duplicate) edges are not allowed")
+            if np.any(~np.isfinite(w)):
+                raise ValueError("edge weights must be finite")
+        graph = cls.__new__(cls)
+        graph._n = n
+        graph._u = u
+        graph._v = v
+        graph._w = w
+        graph._adj_indptr = None
+        graph._adj_indices = None
+        graph._adj_edge_ids = None
+        return graph
+
     # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #

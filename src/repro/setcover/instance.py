@@ -117,6 +117,67 @@ class SetCoverInstance:
                         f"first few: {uncovered[:5].tolist()}"
                     )
 
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        num_elements: int,
+        validate: bool = False,
+    ) -> "SetCoverInstance":
+        """Build an instance directly from a primal CSR incidence index.
+
+        This is the zero-copy trusted constructor used by the dataset store
+        (:mod:`repro.datasets`): the caller asserts the index already
+        satisfies the class invariants — ``indices[indptr[i]:indptr[i+1]]``
+        sorted and duplicate-free per set, elements in range, every element
+        covered — so no normalisation pass runs and (memory-mapped) input
+        arrays of the right dtype are adopted as-is.  Pass ``validate=True``
+        to check the invariants anyway.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or len(indptr) < 1:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        n = len(indptr) - 1
+        m = int(num_elements)
+        if weights is None:
+            w = np.ones(n, dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (n,):
+                raise ValueError("weights must have one entry per set")
+        instance = cls.__new__(cls)
+        instance._sets = [indices[indptr[i] : indptr[i + 1]] for i in range(n)]
+        instance._weights = w
+        instance._m = m
+        instance._set_sizes = np.diff(indptr)
+        instance._set_indptr = indptr
+        instance._set_indices = indices
+        instance._elem_indptr = None
+        instance._elem_indices = None
+        if validate:
+            if np.any(instance._set_sizes < 0) or int(indptr[-1]) != len(indices):
+                raise ValueError("indptr is not a valid monotone CSR pointer array")
+            if np.any(w <= 0) or np.any(~np.isfinite(w)):
+                raise ValueError("set weights must be positive and finite")
+            if len(indices) and (indices.min() < 0 or indices.max() >= m):
+                raise ValueError("set element out of range")
+            for arr in instance._sets:
+                if arr.size > 1 and np.any(np.diff(arr) <= 0):
+                    raise ValueError("each set's elements must be sorted and unique")
+            if m:
+                occurrences = np.bincount(indices, minlength=m)
+                uncovered = np.flatnonzero(occurrences == 0)
+                if uncovered.size:
+                    raise InfeasibleInstanceError(
+                        f"{uncovered.size} element(s) are contained in no set; "
+                        f"first few: {uncovered[:5].tolist()}"
+                    )
+        return instance
+
     # ------------------------------------------------------------------ #
     # CSR incidence indexes (lazily built)
     # ------------------------------------------------------------------ #

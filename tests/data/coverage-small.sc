@@ -1,0 +1,15 @@
+# coverage-small.sc: weighted set cover fixture (the 'p setcover' text format).
+# 12 candidate sites covering 18 demand points; every element is coverable.
+p setcover 12 18
+s 3.0 0 1 2 3
+s 1.5 0 1
+s 1.5 2 3
+s 2.5 4 5 6 7
+s 1.0 7
+s 4.0 8 9 10 11 12
+s 2.0 8 9
+s 2.25 10 11 12
+s 5.0 13 14 15 16 17
+s 2.0 13 14 15
+s 1.75 16 17
+s 6.5 0 4 8 13 17

@@ -1,0 +1,250 @@
+"""Parser tests: every supported format, gzip transparency, malformed files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    IngestError,
+    detect_format,
+    load_dimacs,
+    load_edgelist,
+    load_file,
+    load_matrix_market,
+    load_setcover_text,
+    save_dataset,
+)
+from repro.graphs import Graph
+from repro.setcover import SetCoverInstance
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+
+
+class TestEdgelist:
+    def test_social_small_fixture(self):
+        graph, info = load_edgelist(DATA / "social-small.txt")
+        assert isinstance(graph, Graph)
+        assert graph.num_vertices == 28
+        assert graph.num_edges == 72
+        assert info["format"] == "edgelist"
+        assert info["self_loops_dropped"] == 1
+        assert info["duplicate_edges_dropped"] == 2  # exact + reversed duplicate
+        assert info["relabelled"] is True  # fixture ids are 3k+5
+        assert info["weighted"] is False
+
+    def test_gzip_twin_is_identical(self):
+        plain, _ = load_edgelist(DATA / "social-small.txt")
+        gz, _ = load_edgelist(DATA / "social-small.txt.gz")
+        assert np.array_equal(plain.edge_u, gz.edge_u)
+        assert np.array_equal(plain.edge_v, gz.edge_v)
+        assert np.array_equal(plain.weights, gz.weights)
+
+    def test_parse_is_deterministic(self):
+        first, _ = load_edgelist(DATA / "social-small.txt")
+        second, _ = load_edgelist(DATA / "social-small.txt")
+        assert first.edge_u.tobytes() == second.edge_u.tobytes()
+        assert first.edge_v.tobytes() == second.edge_v.tobytes()
+        assert first.weights.tobytes() == second.weights.tobytes()
+
+    def test_weighted_edgelist(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 2.5\n1 2 0.5\n")
+        graph, info = load_edgelist(path)
+        assert info["weighted"] is True
+        assert graph.weights.tolist() == [2.5, 0.5]
+
+    def test_duplicate_keeps_first_weight(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 2.5\n1 0 9.0\n")
+        graph, info = load_edgelist(path)
+        assert graph.num_edges == 1
+        assert graph.weights.tolist() == [2.5]
+        assert info["duplicate_edges_dropped"] == 1
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("0 1 2 3\n", "expected 'u v'"),
+            ("0 1\n0 1 2.0\n", "inconsistent column count"),
+            ("0 one\n", "non-numeric"),
+            ("-1 2\n", "negative vertex id"),
+            ("0 1 nan\n", "non-finite"),
+            ("# only comments\n", "no edges"),
+            ("", "no edges"),
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, content, match):
+        path = tmp_path / "bad.txt"
+        path.write_text(content)
+        with pytest.raises(IngestError, match=match):
+            load_edgelist(path)
+
+
+class TestMatrixMarket:
+    def test_toy_fixture(self):
+        graph, info = load_matrix_market(DATA / "toy.mtx")
+        assert graph.num_vertices == 8
+        assert graph.num_edges == 13
+        assert info["symmetry"] == "symmetric"
+        assert info["weighted"] is True
+        # The (2, 1) entry of the file is the canonical edge (0, 1), weight 4.0.
+        edge = np.flatnonzero((graph.edge_u == 0) & (graph.edge_v == 1))
+        assert edge.size == 1 and graph.edge_weight(int(edge[0])) == 4.0
+
+    def test_pattern_field_is_unweighted(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n")
+        graph, info = load_matrix_market(path)
+        assert info["weighted"] is False
+        assert graph.num_edges == 2 and np.all(graph.weights == 1.0)
+
+    def test_general_symmetry_merges_mirrored_entries(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 2 5.0\n2 1 5.0\n1 1 7.0\n"
+        )
+        graph, info = load_matrix_market(path)
+        assert graph.num_edges == 1
+        assert info["duplicate_edges_dropped"] == 1
+        assert info["self_loops_dropped"] == 1
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("1 2\n", "banner"),
+            ("%%MatrixMarket matrix array real general\n", "coordinate"),
+            ("%%MatrixMarket matrix coordinate complex general\n", "field"),
+            ("%%MatrixMarket matrix coordinate real skew-symmetric\n", "symmetry"),
+            ("%%MatrixMarket matrix coordinate real general\n", "missing size line"),
+            ("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n", "square"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1.0\n", "out of range"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n", "declares 2"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n", "expected 3 fields"),
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, content, match):
+        path = tmp_path / "bad.mtx"
+        path.write_text(content)
+        with pytest.raises(IngestError, match=match):
+            load_matrix_market(path)
+
+
+class TestDimacs:
+    def test_petersen_fixture(self):
+        graph, info = load_dimacs(DATA / "petersen.col")
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 15
+        assert np.all(graph.degrees() == 3)  # 3-regular
+        assert info["declared_edges"] == 15
+
+    def test_weighted_edges(self, tmp_path):
+        path = tmp_path / "w.col"
+        path.write_text("p edge 3 2\ne 1 2 4.5\ne 2 3 1.0\n")
+        graph, _ = load_dimacs(path)
+        assert sorted(graph.weights.tolist()) == [1.0, 4.5]
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("e 1 2\n", "before the problem line"),
+            ("p edge 3\n", "malformed problem line"),
+            ("p edge 3 1\np edge 3 1\n", "duplicate problem line"),
+            ("p edge 3 1\ne 1 4\n", "out of range"),
+            ("p edge 3 1\ne 1 two\n", "non-numeric"),
+            ("p edge 3 1\nq 1 2\n", "unknown line type"),
+            ("c only comments\n", "missing 'p edge"),
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, content, match):
+        path = tmp_path / "bad.col"
+        path.write_text(content)
+        with pytest.raises(IngestError, match=match):
+            load_dimacs(path)
+
+
+class TestSetCoverText:
+    def test_coverage_small_fixture(self):
+        instance, info = load_setcover_text(DATA / "coverage-small.sc")
+        assert isinstance(instance, SetCoverInstance)
+        assert instance.num_sets == 12
+        assert instance.num_elements == 18
+        assert instance.weights[0] == 3.0
+        assert info["format"] == "setcover"
+        assert info["frequency"] == instance.frequency
+
+    def test_empty_set_line_allowed(self, tmp_path):
+        path = tmp_path / "e.sc"
+        path.write_text("p setcover 2 1\ns 1.0 0\ns 2.0\n")
+        instance, _ = load_setcover_text(path)
+        assert instance.set_elements(1).size == 0
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("s 1.0 0\n", "before the problem line"),
+            ("p setcover 2 1\ns 1.0 0\n", "2 sets but 1"),
+            ("p setcover 1 1\ns 1.0 0\nq\n", "unknown line type"),
+            ("p setcover 1 2\ns 1.0 0\n", "invalid set cover"),  # element 1 uncovered
+            ("p setcover 1 1\ns 1.0 5\n", "invalid set cover"),  # out of range
+            ("p setcover 1 1\ns -1.0 0\n", "invalid set cover"),  # negative weight
+            ("p setcover 1 1\ns\n", "missing its weight"),
+            ("p cover 1 1\n", "expected 'p setcover"),
+            ("", "missing 'p setcover"),
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, content, match):
+        path = tmp_path / "bad.sc"
+        path.write_text(content)
+        with pytest.raises(IngestError, match=match):
+            load_setcover_text(path)
+
+
+class TestDetectAndDispatch:
+    @pytest.mark.parametrize(
+        "name, fmt",
+        [
+            ("social-small.txt", "edgelist"),
+            ("social-small.txt.gz", "edgelist"),
+            ("toy.mtx", "matrix-market"),
+            ("petersen.col", "dimacs"),
+            ("coverage-small.sc", "setcover"),
+        ],
+    )
+    def test_fixture_detection(self, name, fmt):
+        assert detect_format(DATA / name) == fmt
+
+    def test_store_detection(self, tmp_path):
+        graph, _ = load_dimacs(DATA / "petersen.col")
+        out = tmp_path / "petersen.npz"
+        save_dataset(out, graph)
+        assert detect_format(out) == "store"
+        loaded, info = load_file(out)
+        assert info["format"] == "store"
+        assert loaded.num_edges == graph.num_edges
+
+    def test_content_sniffing_without_extension(self, tmp_path):
+        mm = tmp_path / "mystery1"
+        mm.write_text("%%MatrixMarket matrix coordinate real general\n1 1 0\n")
+        assert detect_format(mm) == "matrix-market"
+        dim = tmp_path / "mystery2"
+        dim.write_text("c hello\np edge 2 1\ne 1 2\n")
+        assert detect_format(dim) == "dimacs"
+        sc = tmp_path / "mystery3"
+        sc.write_text("p setcover 1 1\ns 1.0 0\n")
+        assert detect_format(sc) == "setcover"
+        el = tmp_path / "mystery4"
+        el.write_text("0 1\n")
+        assert detect_format(el) == "edgelist"
+
+    def test_load_file_missing_path(self, tmp_path):
+        with pytest.raises(IngestError, match="does not exist"):
+            load_file(tmp_path / "nope.txt")
+
+    def test_load_file_unknown_format(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(IngestError, match="unknown dataset format"):
+            load_file(path, fmt="parquet")

@@ -1,0 +1,143 @@
+"""Scenario registry tests: named scenarios, file: scenarios, kind checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+    build_scenario_sized,
+    ensure_edge_weights,
+    register_scenario,
+    resolve_scenario,
+    save_dataset,
+    scenario_names,
+)
+from repro.graphs import Graph, gnm_graph
+from repro.setcover import SetCoverInstance
+
+
+class TestRegistry:
+    def test_builtin_scenarios_present(self):
+        assert {
+            "social-sparse",
+            "powerlaw-dense",
+            "bipartite-b-matching",
+            "coverage-planning",
+        } <= set(scenario_names())
+
+    def test_kinds(self):
+        assert SCENARIOS["social-sparse"].kind == "graph"
+        assert SCENARIOS["coverage-planning"].kind == "setcover"
+
+    def test_every_builtin_builds(self):
+        for name in scenario_names():
+            obj = build_scenario(name, np.random.default_rng(0))
+            assert isinstance(obj, (Graph, SetCoverInstance))
+
+    def test_builds_are_deterministic_in_the_rng(self):
+        a = build_scenario("social-sparse", np.random.default_rng(7))
+        b = build_scenario("social-sparse", np.random.default_rng(7))
+        assert a.edge_u.tobytes() == b.edge_u.tobytes()
+        assert a.edge_v.tobytes() == b.edge_v.tobytes()
+
+    def test_sized_builds_scale(self):
+        small = build_scenario_sized("powerlaw-dense", 60, np.random.default_rng(0))
+        large = build_scenario_sized("powerlaw-dense", 240, np.random.default_rng(0))
+        assert small.num_vertices == 60 and large.num_vertices == 240
+        assert small.num_edges < large.num_edges
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(SCENARIOS["social-sparse"])
+
+    def test_register_file_prefix_rejected(self):
+        bogus = Scenario(
+            name="file:sneaky", kind="graph", description="", build=lambda rng: None
+        )
+        with pytest.raises(ValueError, match="must not start with"):
+            register_scenario(bogus)
+
+    def test_register_and_overwrite(self):
+        extra = Scenario(
+            name="unit-test-scenario",
+            kind="graph",
+            description="ephemeral",
+            build=lambda rng: gnm_graph(5, 4, rng),
+        )
+        try:
+            register_scenario(extra)
+            assert build_scenario("unit-test-scenario", np.random.default_rng(0)).num_edges == 4
+            register_scenario(extra, overwrite=True)
+        finally:
+            SCENARIOS.pop("unit-test-scenario", None)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Scenario(name="x", kind="tensor", description="", build=lambda rng: None)
+
+
+class TestResolution:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            resolve_scenario("does-not-exist")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            resolve_scenario("")
+
+    def test_file_scenario_missing_path(self):
+        with pytest.raises(ValueError, match="missing its path"):
+            resolve_scenario("file:")
+
+    def test_file_scenario_from_store(self, tmp_path, rng):
+        graph = gnm_graph(20, 50, rng, weights="uniform")
+        path = tmp_path / "g.npz"
+        save_dataset(path, graph)
+        scenario = resolve_scenario(f"file:{path}")
+        assert scenario.kind == "graph" and not scenario.sized
+        built = scenario.build(np.random.default_rng(0))
+        assert built.num_edges == 50
+        assert built.weights.tobytes() == graph.weights.tobytes()
+
+    def test_file_scenario_from_raw_text(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n2 3\n")
+        scenario = resolve_scenario(f"file:{path}")
+        assert scenario.kind == "graph"
+        assert scenario.build(np.random.default_rng(0)).num_edges == 3
+
+    def test_kind_mismatch_message_names_the_context(self, tmp_path):
+        path = tmp_path / "sc.sc"
+        path.write_text("p setcover 1 1\ns 1.0 0\n")
+        with pytest.raises(ValueError, match="my-experiment needs a graph"):
+            build_scenario(f"file:{path}", np.random.default_rng(0), expect="graph",
+                           context="my-experiment")
+
+    def test_sized_build_rejected_for_file_scenarios(self, tmp_path, rng):
+        path = tmp_path / "g.npz"
+        save_dataset(path, gnm_graph(10, 20, rng))
+        with pytest.raises(ValueError, match="fixed size"):
+            build_scenario_sized(f"file:{path}", 100, np.random.default_rng(0))
+
+
+class TestEnsureEdgeWeights:
+    def test_unit_weights_replaced(self, rng):
+        graph = gnm_graph(20, 40, rng)  # all weights 1.0
+        weighted = ensure_edge_weights(graph, np.random.default_rng(1))
+        assert not np.all(weighted.weights == 1.0)
+        assert np.array_equal(weighted.edge_u, graph.edge_u)
+
+    def test_real_weights_kept(self, rng):
+        graph = gnm_graph(20, 40, rng, weights="uniform")
+        weighted = ensure_edge_weights(graph, np.random.default_rng(1))
+        assert weighted is graph
+
+    def test_deterministic_in_the_rng(self, rng):
+        graph = gnm_graph(20, 40, rng)
+        a = ensure_edge_weights(graph, np.random.default_rng(3))
+        b = ensure_edge_weights(graph, np.random.default_rng(3))
+        assert a.weights.tobytes() == b.weights.tobytes()

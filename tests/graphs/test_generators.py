@@ -59,8 +59,15 @@ class TestDensified:
         assert abs(g.densification_exponent() - c) < 0.05
 
     def test_exponent_clamped_to_simple_graph(self, rng):
-        g = densified_graph(10, 2.0, rng)
+        # c = 1 asks for n^2 edges; the generator clamps to the complete graph.
+        g = densified_graph(10, 1.0, rng)
         assert g.num_edges == 45  # complete graph
+
+    def test_out_of_range_exponent_rejected(self, rng):
+        with pytest.raises(ValueError, match="densification exponent"):
+            densified_graph(10, 2.0, rng)
+        with pytest.raises(ValueError, match="densification exponent"):
+            densified_graph(10, -0.1, rng)
 
     def test_tiny_graph(self, rng):
         assert densified_graph(1, 0.5, rng).num_edges == 0
@@ -142,10 +149,51 @@ class TestGrid:
             grid_graph(0, 3)
 
 
+class TestInputValidation:
+    """Generators must fail fast with clear messages, not deep inside NumPy."""
+
+    @pytest.mark.parametrize("n", [0, -1, -100])
+    def test_gnm_rejects_nonpositive_vertices(self, rng, n):
+        with pytest.raises(ValueError, match="num_vertices must be a positive integer"):
+            gnm_graph(n, 0, rng)
+
+    def test_gnm_rejects_negative_edges(self, rng):
+        with pytest.raises(ValueError, match="num_edges must be non-negative"):
+            gnm_graph(10, -1, rng)
+
+    @pytest.mark.parametrize("n", [0, -5])
+    def test_densified_rejects_nonpositive_vertices(self, rng, n):
+        with pytest.raises(ValueError, match="num_vertices must be a positive integer"):
+            densified_graph(n, 0.4, rng)
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_power_law_rejects_nonpositive_vertices(self, rng, n):
+        with pytest.raises(ValueError, match="num_vertices must be a positive integer"):
+            power_law_graph(n, 5, rng)
+
+    def test_power_law_rejects_negative_edges(self, rng):
+        with pytest.raises(ValueError, match="num_edges must be non-negative"):
+            power_law_graph(10, -2, rng)
+
+    @pytest.mark.parametrize("exponent", [1.0, 0.5, -2.0])
+    def test_power_law_rejects_bad_exponent(self, rng, exponent):
+        with pytest.raises(ValueError, match="tail exponent must be > 1"):
+            power_law_graph(10, 5, rng, exponent=exponent)
+
+    def test_single_vertex_graphs_are_still_fine(self, rng):
+        assert gnm_graph(1, 0, rng).num_edges == 0
+        assert densified_graph(1, 0.5, rng).num_edges == 0
+        assert power_law_graph(1, 0, rng).num_edges == 0
+
+
 class TestEdgeCountForExponent:
     def test_small_cases(self):
         assert edge_count_for_exponent(1, 0.5) == 0
-        assert edge_count_for_exponent(2, 5.0) == 1
+        assert edge_count_for_exponent(2, 1.0) == 1
+
+    def test_out_of_range_exponent_rejected(self):
+        with pytest.raises(ValueError, match="densification exponent"):
+            edge_count_for_exponent(2, 5.0)
 
     def test_monotone_in_c(self):
         assert edge_count_for_exponent(100, 0.2) < edge_count_for_exponent(100, 0.4)

@@ -52,6 +52,12 @@ class TestExamples:
         assert "time slots" in out
         assert "conflict-free batches" in out
 
+    def test_run_on_your_graph_runs(self, capsys):
+        _run_example("run_on_your_graph.py", ["4"])
+        out = capsys.readouterr().out
+        assert "Store round-trip verified" in out
+        assert "All dataset pipeline steps passed" in out
+
     @pytest.mark.slow
     def test_reproduce_figure1_subset_runs(self, capsys, monkeypatch):
         """Run the Figure-1 script end to end with a single trial.
