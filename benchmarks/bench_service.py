@@ -1,0 +1,252 @@
+"""Load generator for the batched solver service (``repro serve``).
+
+Fires a burst of concurrent solve requests at the service and compares
+micro-batched execution against sequential per-request solving:
+
+* **batched** — one in-process service with ``--backend batch`` and a real
+  micro-batch window, so the concurrent burst coalesces into a handful of
+  ``run_sweep`` calls and duplicate requests are memoised;
+* **unbatched** — the same service configured with ``max_batch=1`` and a
+  zero batch window: every request is its own single-point sweep, i.e.
+  sequential per-request solving;
+* **direct** — a plain in-process loop over ``solve_direct`` (the lower
+  bound a service could ever hope to approach, no HTTP, no batching).
+
+Every response is checked byte-for-byte against ``solve_direct`` — the
+service's core guarantee — and the script exits non-zero on any mismatch,
+or (in full mode) when batching fails to beat unbatched serving.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                  # full bench
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke          # CI check
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke \\
+        --url http://127.0.0.1:8765 --scenario file:social-small.npz   # live server
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+import urllib.parse
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import parse_solve_request, solve_direct, start_in_background
+
+
+def build_burst(args: argparse.Namespace) -> list[dict]:
+    """``--requests`` bodies over ``--distinct`` seeds (hot queries repeat)."""
+    bodies = []
+    for index in range(args.requests):
+        body = {
+            "algorithm": args.algorithm,
+            "seed": index % args.distinct,
+            "params": {},
+        }
+        if args.scenario:
+            body["scenario"] = args.scenario
+        else:
+            body["params"] = {"n": args.n, "c": 0.4}
+        bodies.append(body)
+    return bodies
+
+
+def _post(host: str, port: int, body: dict, timeout: float = 300.0) -> tuple[int, bytes]:
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", "/solve", json.dumps(body), {"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def fire_burst(host: str, port: int, bodies: list[dict]) -> tuple[float, list[bytes]]:
+    """All requests concurrently; returns (wall seconds, responses in order)."""
+    responses: list[bytes | None] = [None] * len(bodies)
+    failures: list[str] = []
+
+    def hit(index: int, body: dict) -> None:
+        try:
+            status, payload = _post(host, port, body)
+            if status != 200:
+                failures.append(f"request {index}: HTTP {status}: {payload[:200]!r}")
+            responses[index] = payload
+        except Exception as exc:  # noqa: BLE001 - recorded and reported
+            failures.append(f"request {index}: {exc}")
+            responses[index] = b""
+
+    threads = [
+        threading.Thread(target=hit, args=(index, body))
+        for index, body in enumerate(bodies)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise SystemExit("burst failed:\n  " + "\n  ".join(failures[:10]))
+    return elapsed, [response for response in responses if response is not None]
+
+
+def check_golden(bodies: list[dict], responses: list[bytes]) -> int:
+    """Count responses that differ from the direct-library golden bytes."""
+    goldens: dict[str, bytes] = {}
+    mismatches = 0
+    for body, response in zip(bodies, responses):
+        key = json.dumps(body, sort_keys=True)
+        if key not in goldens:
+            goldens[key] = solve_direct(parse_solve_request(body))
+        if response != goldens[key]:
+            mismatches += 1
+    return mismatches
+
+
+def wait_healthy(host: str, port: int, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/healthz")
+            if conn.getresponse().status == 200:
+                conn.close()
+                return
+            conn.close()
+        except OSError:
+            time.sleep(0.2)
+    raise SystemExit(f"service at {host}:{port} never became healthy")
+
+
+def time_direct_loop(bodies: list[dict]) -> float:
+    start = time.perf_counter()
+    for body in bodies:
+        solve_direct(parse_solve_request(body))
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=96, help="burst size (default: 96)")
+    parser.add_argument(
+        "--distinct", type=int, default=8, help="distinct seeds in the burst (default: 8)"
+    )
+    parser.add_argument("--algorithm", default="mis")
+    parser.add_argument("--n", type=int, default=110, help="workload size (default: 110)")
+    parser.add_argument(
+        "--scenario", default=None, help="run the burst on a scenario / file: dataset"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="batched service's window (default: 64)"
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="benchmark a service already running at this URL instead of "
+        "starting one in-process (correctness check only)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small burst, golden byte-identity check only (CI mode)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests = min(args.requests, 24)
+    if args.requests < 1 or args.distinct < 1:
+        parser.error("--requests and --distinct must be positive")
+    args.distinct = min(args.distinct, args.requests)
+
+    bodies = build_burst(args)
+    report: dict = {
+        "requests": args.requests,
+        "distinct": args.distinct,
+        "algorithm": args.algorithm,
+    }
+
+    if args.url:
+        parsed = urllib.parse.urlparse(args.url)
+        host, port = parsed.hostname or "127.0.0.1", parsed.port or 80
+        wait_healthy(host, port)
+        elapsed, responses = fire_burst(host, port, bodies)
+        mismatches = check_golden(bodies, responses)
+        report |= {"mode": "remote", "seconds": elapsed, "mismatches": mismatches}
+        print(
+            f"remote burst: {args.requests} requests in {elapsed:.2f}s "
+            f"({args.requests / elapsed:.1f} req/s), {mismatches} mismatches"
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        return 1 if mismatches else 0
+
+    # Batched: a real micro-batch window over the memoising batch backend.
+    with start_in_background(
+        backend="batch", max_batch=args.max_batch, batch_wait_ms=20.0
+    ) as batched:
+        wait_healthy("127.0.0.1", batched.port)
+        batched_seconds, responses = fire_burst("127.0.0.1", batched.port, bodies)
+        mismatches = check_golden(bodies, responses)
+
+    # Unbatched: max_batch=1, no window — sequential per-request solving.
+    with start_in_background(
+        backend="serial", max_batch=1, batch_wait_ms=0.0
+    ) as unbatched:
+        wait_healthy("127.0.0.1", unbatched.port)
+        unbatched_seconds, responses = fire_burst("127.0.0.1", unbatched.port, bodies)
+        mismatches += check_golden(bodies, responses)
+
+    direct_seconds = time_direct_loop(bodies) if not args.smoke else None
+
+    speedup = unbatched_seconds / batched_seconds if batched_seconds else float("inf")
+    report |= {
+        "mode": "local",
+        "batched_seconds": batched_seconds,
+        "unbatched_seconds": unbatched_seconds,
+        "direct_seconds": direct_seconds,
+        "batched_rps": args.requests / batched_seconds,
+        "unbatched_rps": args.requests / unbatched_seconds,
+        "speedup": speedup,
+        "mismatches": mismatches,
+    }
+    print(
+        f"burst of {args.requests} requests ({args.distinct} distinct), "
+        f"algorithm={args.algorithm}:"
+    )
+    print(
+        f"  batched   (max_batch={args.max_batch}): {batched_seconds:6.2f}s "
+        f"({report['batched_rps']:7.1f} req/s)"
+    )
+    print(
+        f"  unbatched (max_batch=1):  {unbatched_seconds:6.2f}s "
+        f"({report['unbatched_rps']:7.1f} req/s)"
+    )
+    if direct_seconds is not None:
+        print(f"  direct library loop:      {direct_seconds:6.2f}s")
+    print(f"  micro-batching speedup: {speedup:.2f}x; golden mismatches: {mismatches}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+
+    if mismatches:
+        print("FAIL: served responses differ from direct library calls")
+        return 1
+    if not args.smoke and speedup <= 1.0:
+        print("FAIL: micro-batching did not beat per-request solving")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

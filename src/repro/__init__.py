@@ -27,7 +27,11 @@ This package provides:
 * :mod:`repro.datasets` — real-dataset ingestion (SNAP/Matrix
   Market/DIMACS/set-cover text), the ``.npz`` instance store, and the
   named workload scenario registry behind every ``--scenario`` flag
-  (``docs/DATASETS.md``).
+  (``docs/DATASETS.md``);
+* :mod:`repro.service` — the batched solver service behind ``repro
+  serve``: a stdlib-only asyncio HTTP server that micro-batches concurrent
+  JSON solve requests through :func:`repro.backends.run_sweep` and answers
+  byte-identically to a direct library call (``docs/SERVICE.md``).
 
 Quickstart
 ----------
@@ -52,6 +56,7 @@ from . import (
     graphs,
     kernels,
     mapreduce,
+    service,
     setcover,
 )
 from ._version import __version__
@@ -153,6 +158,7 @@ __all__ = [
     "baselines",
     "analysis",
     "experiments",
+    "service",
     # datasets & scenarios
     "Scenario",
     "build_scenario",

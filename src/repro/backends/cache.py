@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
 from .base import PointResult, SweepPoint, point_digest, point_signature
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "record_from_payload", "record_to_payload"]
 
 #: Format marker stored in every entry; bump when the layout changes so
 #: stale caches are treated as misses instead of misparsed.
@@ -37,12 +38,18 @@ def _package_version() -> str:
     return __version__
 
 
-def _record_to_payload(record: Any) -> dict[str, Any]:
+def record_to_payload(record: Any) -> dict[str, Any]:
+    """Canonical JSON form of an ``ExperimentRecord``.
+
+    The single serialization both cache entries and service responses use,
+    so the two can never drift: a record stored here and reloaded renders
+    exactly like a freshly computed one.
+    """
     from ..experiments.harness import ExperimentRecord
 
     if not isinstance(record, ExperimentRecord):
         raise TypeError(
-            f"ResultCache can only store ExperimentRecord outputs, got {type(record).__name__}"
+            f"can only serialise ExperimentRecord outputs, got {type(record).__name__}"
         )
     from .base import _jsonable
 
@@ -56,7 +63,8 @@ def _record_to_payload(record: Any) -> dict[str, Any]:
     }
 
 
-def _record_from_payload(payload: dict[str, Any]) -> Any:
+def record_from_payload(payload: dict[str, Any]) -> Any:
+    """Rebuild an ``ExperimentRecord`` from :func:`record_to_payload` output."""
     from ..experiments.harness import ExperimentRecord
 
     return ExperimentRecord(
@@ -102,7 +110,7 @@ class ResultCache:
             # Digest collision or hand-edited entry: treat as a miss.
             return None
         try:
-            records = [_record_from_payload(item) for item in payload["records"]]
+            records = [record_from_payload(item) for item in payload["records"]]
         except (KeyError, TypeError):
             return None
         return PointResult(
@@ -122,14 +130,37 @@ class ResultCache:
             "repro_version": _package_version(),
             "signature": point_signature(point),
             "experiment": point.experiment,
-            "records": [_record_to_payload(record) for record in result.records],
+            "records": [record_to_payload(record) for record in result.records],
         }
         path = self.path_for(point)
-        tmp = path.with_suffix(".tmp")
         # Insertion order is preserved (no key sorting) so a reloaded record
         # renders identically to a freshly computed one.
-        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-        os.replace(tmp, path)
+        text = json.dumps(payload, indent=2)
+        # The temp name must be unique per writer: several processes may share
+        # one cache directory (mp sweeps, the solver service), and a fixed
+        # `<digest>.tmp` lets their write/replace pairs interleave — one writer
+        # publishes a torn file, the other crashes replacing a name that is
+        # already gone.  ``NamedTemporaryFile`` picks a fresh name per call and
+        # ``os.replace`` keeps the publish atomic, so the last writer wins with
+        # a complete entry.
+        fd = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=self.directory,
+            prefix=f"{path.stem}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with fd:
+                fd.write(text)
+            os.replace(fd.name, path)
+        except BaseException:
+            try:
+                os.unlink(fd.name)
+            except OSError:
+                pass
+            raise
         return path
 
     # ------------------------------------------------------------------ #

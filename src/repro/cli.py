@@ -1,6 +1,6 @@
 """Command-line interface for running the reproduction experiments.
 
-Installed as ``python -m repro``.  Six subcommands:
+Installed as ``python -m repro``.  Seven subcommands:
 
 ``figure1``
     Run every (or selected) Figure-1 experiment and print the measured table
@@ -29,6 +29,12 @@ Installed as ``python -m repro``.  Six subcommands:
     dataset file (SNAP edge list, Matrix Market, DIMACS, set-cover text;
     gzip transparent) into the fast ``.npz`` instance store, ``info``
     inspects any dataset file, ``list`` prints the scenario registry.
+
+``serve``
+    Run the batched solver service (see ``docs/SERVICE.md``): an asyncio
+    HTTP server that micro-batches concurrent JSON solve requests through
+    the sweep backends and answers byte-identically to a direct library
+    call with the same (scenario, algorithm, params, seed).
 
 The experiment subcommands accept ``--scenario NAME`` / ``--scenario
 file:PATH`` to run on a named workload or an ingested dataset instead of
@@ -231,6 +237,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="also print the report as JSON")
     _add_backend_options(bench)
+
+    srv = sub.add_parser(
+        "serve", help="run the batched solver service (see docs/SERVICE.md)"
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (default: 8080; 0 picks a free port and prints it)",
+    )
+    srv.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="batch",
+        help="how each micro-batch executes (default: batch — memoises "
+        "duplicate concurrent requests)",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend mp (default: all CPUs)",
+    )
+    srv.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        metavar="PATH",
+        help="ResultCache directory; repeated requests replay instead of recomputing",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="largest micro-batch a single sweep call executes (default: 32)",
+    )
+    srv.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long a batch waits for more concurrent requests (default: 5)",
+    )
+    srv.add_argument(
+        "--instance-cache",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="capacity of the materialized file-scenario LRU (default: 64)",
+    )
 
     data = sub.add_parser("data", help="dataset tools: convert, inspect, list scenarios")
     data_sub = data.add_subparsers(dest="data_command", required=True)
@@ -472,6 +531,23 @@ def _run_data(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    if args.port < 0 or args.port > 65535:
+        raise SystemExit("port must be in [0, 65535]")
+    return serve(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_batch=args.max_batch,
+        batch_wait_ms=args.batch_wait_ms,
+        instance_cache=args.instance_cache,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -502,6 +578,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         # A cache hit would replay a previous run's timings as if they were
         # fresh measurements.
         parser.error("bench measures wall-clock; results must not be cached")
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "figure1":
         return _run_figure1(args)
     if args.command == "experiment":

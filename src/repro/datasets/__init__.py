@@ -29,12 +29,15 @@ from .ingest import (
 )
 from .scenarios import (
     SCENARIOS,
+    InstanceCache,
     Scenario,
     build_scenario,
     build_scenario_sized,
     canonical_scenario_spec,
+    configure_instance_cache,
     ensure_edge_weights,
     file_fingerprint,
+    instance_cache_stats,
     register_scenario,
     resolve_scenario,
     scenario_names,
@@ -72,12 +75,15 @@ __all__ = [
     "load_setcover_text",
     # scenarios
     "SCENARIOS",
+    "InstanceCache",
     "Scenario",
     "build_scenario",
     "build_scenario_sized",
     "canonical_scenario_spec",
+    "configure_instance_cache",
     "ensure_edge_weights",
     "file_fingerprint",
+    "instance_cache_stats",
     "register_scenario",
     "resolve_scenario",
     "scenario_names",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -52,12 +53,15 @@ from .ingest import load_file
 
 __all__ = [
     "SCENARIOS",
+    "InstanceCache",
     "Scenario",
     "build_scenario",
     "build_scenario_sized",
     "canonical_scenario_spec",
+    "configure_instance_cache",
     "ensure_edge_weights",
     "file_fingerprint",
+    "instance_cache_stats",
     "register_scenario",
     "resolve_scenario",
     "scenario_names",
@@ -200,29 +204,111 @@ def _split_file_spec(spec: str) -> tuple[str, str | None]:
     return body, None
 
 
-#: Stat-invalidated cache of loaded file scenarios:
-#: abspath → ((mtime_ns, size), fingerprint, object, ingest info).
-_FILE_CACHE: dict[str, tuple[tuple[int, int], str, Any, dict[str, Any]]] = {}
-_FILE_CACHE_MAX = 8
+class InstanceCache:
+    """Stat-invalidated LRU of materialized file-scenario workloads.
+
+    Maps ``abspath → ((mtime_ns, size), fingerprint, object, ingest info)``.
+    A hit (same path, unchanged stat stamp) returns the already-materialized
+    :class:`~repro.graphs.graph.Graph` / ``SetCoverInstance`` and refreshes
+    its recency; a miss re-fingerprints and re-ingests the file.  Hit/miss
+    counters feed the solver service's ``/metrics`` endpoint.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("instance cache capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._entries: dict[str, tuple[tuple[int, int], str, Any, dict[str, Any]]] = {}
+        self.hits = 0
+        self.misses = 0
+        # The solver service reads this cache from the event-loop thread
+        # (request validation) while sweep execution reads it from a worker
+        # thread, so every access to the shared dict takes the lock.  The
+        # lock is *not* held across fingerprinting/ingestion — two threads
+        # missing on the same file may both load it, which is idempotent.
+        self._lock = threading.Lock()
+
+    def load(self, path: str) -> tuple[str, Any, dict[str, Any]]:
+        """Load (or reuse) a dataset file; returns (fingerprint, obj, info)."""
+        key = os.path.abspath(path)
+        try:
+            stat = os.stat(key)
+        except OSError as exc:
+            raise ValueError(f"cannot read dataset file {path!r}: {exc}") from exc
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None and hit[0] == stamp:
+                self.hits += 1
+                # Refresh recency: dicts preserve insertion order, so
+                # re-inserting moves the entry to the back of the queue.
+                self._entries[key] = self._entries.pop(key)
+                return hit[1], hit[2], hit[3]
+            self.misses += 1
+        fingerprint = file_fingerprint(key)
+        obj, info = load_file(key)
+        with self._lock:
+            self._entries.pop(key, None)
+            while len(self._entries) >= self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = (stamp, fingerprint, obj, info)
+        return fingerprint, obj, info
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting least-recently-used overflow."""
+        if capacity < 1:
+            raise ValueError("instance cache capacity must be at least 1")
+        with self._lock:
+            self.capacity = int(capacity)
+            while len(self._entries) > self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters and occupancy (surfaced by ``/metrics``).
+
+        The process-wide instance (see :func:`configure_instance_cache`) is
+        shared by every service and library caller in the process, so these
+        counters describe process-wide traffic, not one server's.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide cache of loaded file scenarios (the solver service resizes it).
+_FILE_CACHE = InstanceCache()
+
+
+def configure_instance_cache(capacity: int) -> InstanceCache:
+    """Resize the process-wide file-scenario LRU; returns it."""
+    _FILE_CACHE.resize(capacity)
+    return _FILE_CACHE
+
+
+def instance_cache_stats() -> dict[str, Any]:
+    """Hit/miss statistics of the process-wide file-scenario LRU."""
+    return _FILE_CACHE.stats()
 
 
 def _load_file_scenario(path: str) -> tuple[str, Any, dict[str, Any]]:
     """Load (or reuse) a file scenario's dataset; returns (fingerprint, obj, info)."""
-    key = os.path.abspath(path)
-    try:
-        stat = os.stat(key)
-    except OSError as exc:
-        raise ValueError(f"cannot read dataset file {path!r}: {exc}") from exc
-    stamp = (stat.st_mtime_ns, stat.st_size)
-    hit = _FILE_CACHE.get(key)
-    if hit is not None and hit[0] == stamp:
-        return hit[1], hit[2], hit[3]
-    fingerprint = file_fingerprint(key)
-    obj, info = load_file(key)
-    if len(_FILE_CACHE) >= _FILE_CACHE_MAX:
-        _FILE_CACHE.pop(next(iter(_FILE_CACHE)))
-    _FILE_CACHE[key] = (stamp, fingerprint, obj, info)
-    return fingerprint, obj, info
+    return _FILE_CACHE.load(path)
 
 
 def resolve_scenario(spec: str) -> Scenario:

@@ -93,7 +93,13 @@ class RunMetrics:
         return record
 
     def extend(self, other: "RunMetrics") -> None:
-        """Append all rounds of ``other`` (re-indexed) to this run."""
+        """Append all rounds of ``other`` (re-indexed) to this run.
+
+        ``other``'s notes are merged in as well, first-wins: a key this run
+        already carries keeps its value.  (Composed protocols read notes such
+        as ``"sampling_iterations"`` off the merged result — dropping them
+        here would make ``merge_metrics`` lose the sub-protocols' counters.)
+        """
         for record in other.rounds:
             self.record_round(
                 record.description,
@@ -103,6 +109,8 @@ class RunMetrics:
                 words_communicated=record.words_communicated,
                 messages=record.messages,
             )
+        for key, value in other.notes.items():
+            self.notes.setdefault(key, value)
 
     # ------------------------------------------------------------------ #
     # Aggregates
@@ -167,7 +175,9 @@ def merge_metrics(metrics: Iterable[RunMetrics], algorithm: str = "") -> RunMetr
     """Concatenate several :class:`RunMetrics` objects into one.
 
     Useful when an algorithm is expressed as a sequence of sub-protocols
-    (e.g. preprocessing followed by the main loop).
+    (e.g. preprocessing followed by the main loop).  Rounds concatenate in
+    order; notes merge first-wins (the earliest sub-protocol that set a key
+    keeps it).
     """
     merged = RunMetrics(algorithm=algorithm)
     for item in metrics:

@@ -77,7 +77,15 @@ def hash_partition(keys: Sequence[int] | np.ndarray, num_machines: int) -> np.nd
     """
     if num_machines <= 0:
         raise ValueError("num_machines must be positive")
-    arr = np.asarray(keys, dtype=np.uint64)
+    # Any integer key is accepted: signed keys are mixed through their 64-bit
+    # two's-complement bit pattern (an int64→uint64 view), so negative ids —
+    # e.g. sentinel keys or signed hashes — partition deterministically
+    # instead of raising ``OverflowError`` on the uint64 conversion.
+    arr = np.asarray(keys)
+    if arr.dtype.kind == "i" or (arr.dtype.kind != "u" and arr.size and (arr < 0).any()):
+        arr = arr.astype(np.int64, copy=False).view(np.uint64)
+    else:
+        arr = arr.astype(np.uint64, copy=False)
     mixed = (arr * np.uint64(2654435761)) % np.uint64(2**32)
     return (mixed % np.uint64(num_machines)).astype(np.int64)
 

@@ -1,0 +1,224 @@
+"""Solve-request protocol: parsing, validation, and canonical rendering.
+
+A solve request is a JSON object::
+
+    {"algorithm": "matching",            # or any name in ALGORITHMS / fig1-*
+     "scenario": "powerlaw-dense",       # optional; also "file:<path>"
+     "params": {"mu": 0.25, "n": 80},    # optional keyword overrides
+     "seed": 7,                          # optional, default 0
+     "trials": 1}                        # optional, default 1
+
+and maps 1:1 onto a :class:`~repro.backends.SweepPoint` whose function is
+the corresponding Figure-1 experiment.  The response is rendered by
+:func:`render_response` as *canonical* JSON bytes (sorted keys, fixed
+separators), so a response is a pure function of the request: the server,
+a cached replay, and a direct in-process :func:`solve_direct` call all
+produce byte-identical payloads for the same request.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..backends import SweepPoint, execute_point
+from ..backends.base import PointResult, _jsonable, point_signature
+from ..backends.cache import record_to_payload
+from ..datasets import canonical_scenario_spec, resolve_scenario
+from ..experiments.figure1 import FIGURE1_EXPERIMENTS, FIGURE1_WORKLOAD_KINDS
+
+__all__ = [
+    "ALGORITHMS",
+    "ServiceError",
+    "SolveRequest",
+    "parse_solve_request",
+    "render_response",
+    "request_point",
+    "request_signature",
+    "resolve_algorithm",
+    "solve_direct",
+]
+
+#: Service algorithm names → Figure-1 experiment registry names.  The raw
+#: ``fig1-*`` names are accepted too (they map to themselves).
+ALGORITHMS: dict[str, str] = {
+    "matching": "fig1-matching",
+    "matching-mu0": "fig1-matching-mu0",
+    "b-matching": "fig1-b-matching",
+    "vertex-cover": "fig1-vertex-cover",
+    "set-cover": "fig1-set-cover-f",
+    "set-cover-greedy": "fig1-set-cover-greedy",
+    "mis": "fig1-mis",
+    "maximal-clique": "fig1-maximal-clique",
+    "vertex-colouring": "fig1-vertex-colouring",
+    "edge-colouring": "fig1-edge-colouring",
+}
+
+#: Fields a solve request may carry.
+_REQUEST_FIELDS = {"algorithm", "scenario", "params", "seed", "trials"}
+
+
+class ServiceError(Exception):
+    """A request-level failure, carrying the HTTP status it maps onto."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+def resolve_algorithm(name: str) -> str:
+    """Map a service algorithm name onto its Figure-1 experiment name."""
+    if name in ALGORITHMS:
+        return ALGORITHMS[name]
+    if name in FIGURE1_EXPERIMENTS:
+        return name
+    known = sorted(ALGORITHMS) + sorted(FIGURE1_EXPERIMENTS)
+    raise ServiceError(f"unknown algorithm {name!r}; choose one of {known}")
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """A validated solve request (``experiment`` is the resolved fig1 name)."""
+
+    algorithm: str
+    experiment: str
+    scenario: str | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    trials: int = 1
+
+
+def _validate_params(experiment: str, params: Mapping[str, Any]) -> dict[str, Any]:
+    if not isinstance(params, Mapping):
+        raise ServiceError(f"'params' must be a JSON object, not {type(params).__name__}")
+    fn = FIGURE1_EXPERIMENTS[experiment]
+    allowed = {
+        name
+        for name, parameter in inspect.signature(fn).parameters.items()
+        if parameter.kind == inspect.Parameter.KEYWORD_ONLY and name != "scenario"
+    }
+    clean: dict[str, Any] = {}
+    for key, value in params.items():
+        if key not in allowed:
+            raise ServiceError(
+                f"unknown parameter {key!r} for algorithm {experiment!r}; "
+                f"accepted: {sorted(allowed)}"
+            )
+        clean[str(key)] = value
+    return clean
+
+
+def _validate_scenario(experiment: str, scenario: str | None) -> str | None:
+    if scenario is None:
+        return None
+    if not isinstance(scenario, str) or not scenario:
+        raise ServiceError("'scenario' must be a non-empty string")
+    try:
+        resolved = resolve_scenario(scenario)
+        canonical = canonical_scenario_spec(scenario)
+    except (ValueError, OSError) as exc:
+        raise ServiceError(str(exc)) from exc
+    expected = FIGURE1_WORKLOAD_KINDS[experiment]
+    if resolved.kind != expected:
+        raise ServiceError(
+            f"scenario {scenario!r} provides a {resolved.kind} workload but "
+            f"{experiment!r} needs {expected}"
+        )
+    return canonical
+
+
+def parse_solve_request(payload: bytes | str | Mapping[str, Any]) -> SolveRequest:
+    """Parse and validate a solve request; raises :class:`ServiceError` (400)."""
+    if isinstance(payload, (bytes, str)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise ServiceError("request body must be a JSON object")
+    unknown = set(payload) - _REQUEST_FIELDS
+    if unknown:
+        raise ServiceError(
+            f"unknown request field(s) {sorted(unknown)}; accepted: {sorted(_REQUEST_FIELDS)}"
+        )
+    if "algorithm" not in payload:
+        raise ServiceError("request is missing the required 'algorithm' field")
+    algorithm = payload["algorithm"]
+    if not isinstance(algorithm, str):
+        raise ServiceError("'algorithm' must be a string")
+    experiment = resolve_algorithm(algorithm)
+
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ServiceError("'seed' must be an integer")
+    trials = payload.get("trials", 1)
+    if isinstance(trials, bool) or not isinstance(trials, int) or trials < 1:
+        raise ServiceError("'trials' must be a positive integer")
+
+    params = _validate_params(experiment, payload.get("params") or {})
+    scenario = _validate_scenario(experiment, payload.get("scenario"))
+    return SolveRequest(
+        algorithm=algorithm,
+        experiment=experiment,
+        scenario=scenario,
+        params=params,
+        seed=seed,
+        trials=trials,
+    )
+
+
+def request_point(request: SolveRequest) -> SweepPoint:
+    """The :class:`SweepPoint` a request maps onto (the cache-key identity).
+
+    The point's seed is the request seed verbatim, so the service, a cached
+    replay, and a direct library call on the same request share one
+    signature — and therefore one result.
+    """
+    kwargs = dict(request.params)
+    if request.scenario is not None:
+        kwargs["scenario"] = request.scenario
+    return SweepPoint(
+        experiment=request.experiment,
+        fn=FIGURE1_EXPERIMENTS[request.experiment],
+        kwargs=kwargs,
+        seed=request.seed,
+        trials=request.trials,
+    )
+
+
+def render_response(request: SolveRequest, result: PointResult) -> bytes:
+    """Render a solve response as canonical JSON bytes.
+
+    Sorted keys and fixed separators make the bytes a pure function of the
+    request and its records; ``result.cached`` is deliberately *excluded*
+    (it travels in the ``X-Repro-Cache`` header instead) so cached replays
+    stay byte-identical to fresh computations.
+    """
+    payload = {
+        "algorithm": request.algorithm,
+        "experiment": request.experiment,
+        "scenario": request.scenario,
+        "params": _jsonable(dict(request.params)),
+        "seed": request.seed,
+        "trials": request.trials,
+        "records": [record_to_payload(record) for record in result.records],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def solve_direct(request: SolveRequest) -> bytes:
+    """The golden path: evaluate the request in-process and render it.
+
+    ``repro serve`` responses are required to be byte-identical to this for
+    the same request — the service may change *where* a request computes,
+    never *what* it answers.
+    """
+    point = request_point(request)
+    return render_response(request, execute_point(point))
+
+
+def request_signature(request: SolveRequest) -> str:
+    """Canonical identity of a request (its point's signature)."""
+    return point_signature(request_point(request))

@@ -1,0 +1,143 @@
+"""Micro-batching: coalesce concurrent solve requests into one sweep.
+
+Concurrent requests land on an asyncio queue; a single dispatcher task
+drains it into batches — a batch closes when it reaches ``max_batch``
+points or ``max_wait_ms`` after its first point arrived — and executes
+each batch through :func:`~repro.backends.run_sweep` in a worker thread.
+The whole frontier therefore reaches the backend in one call, exactly like
+an experiment sweep: the ``batch`` backend memoises duplicate points
+(identical concurrent requests compute once), ``mp`` fans distinct points
+out across processes, and a shared :class:`~repro.backends.ResultCache`
+serves idempotent replays without recomputing.
+
+Because every backend is required to produce results identical to
+``execute_point``, batching changes *where and when* a request computes,
+never *what* it answers — the byte-identity guarantee of
+:func:`repro.service.api.solve_direct` survives batching untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Sequence
+
+from ..backends import Backend, PointResult, ResultCache, SweepPoint, run_sweep
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce submitted points into batches executed via ``run_sweep``."""
+
+    def __init__(
+        self,
+        *,
+        backend: Backend | str | None = "batch",
+        jobs: int | None = None,
+        cache: ResultCache | str | None = None,
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        on_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.backend = backend
+        self.jobs = jobs
+        self.cache = cache
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.on_batch = on_batch
+        self._queue: asyncio.Queue[tuple[SweepPoint, asyncio.Future[PointResult]]] = (
+            asyncio.Queue()
+        )
+        self._dispatcher: asyncio.Task[None] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the dispatcher task on the running event loop."""
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name="repro-service-batcher"
+            )
+
+    async def aclose(self) -> None:
+        """Cancel the dispatcher and fail any undelivered submissions."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        while not self._queue.empty():
+            _, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(RuntimeError("service shut down"))
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    async def submit(self, point: SweepPoint) -> PointResult:
+        """Queue one point and await its result."""
+        self.start()
+        future: asyncio.Future[PointResult] = asyncio.get_running_loop().create_future()
+        await self._queue.put((point, future))
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    async def _collect_batch(
+        self,
+    ) -> list[tuple[SweepPoint, asyncio.Future[PointResult]]]:
+        """Block for the first point, then drain until size or time is up."""
+        loop = asyncio.get_running_loop()
+        first = await self._queue.get()
+        batch = [first]
+        deadline = loop.time() + self.max_wait
+        while len(batch) < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                # Past the deadline: take only what is already queued.
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                try:
+                    batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+        return batch
+
+    def _execute(self, points: Sequence[SweepPoint]) -> list[PointResult]:
+        return run_sweep(
+            points, backend=self.backend, jobs=self.jobs, cache=self.cache
+        )
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect_batch()
+            if self.on_batch is not None:
+                self.on_batch(len(batch))
+            points = [point for point, _ in batch]
+            try:
+                results = await loop.run_in_executor(None, self._execute, points)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+                if isinstance(exc, asyncio.CancelledError):
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_exception(RuntimeError("service shut down"))
+                    raise
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, future), result in zip(batch, results):
+                if not future.done():
+                    future.set_result(result)

@@ -1,0 +1,104 @@
+"""Service-side counters surfaced by the ``/metrics`` endpoint.
+
+Tracks exactly what the ROADMAP's serving story needs to be observable:
+request/error counts, micro-batch sizes, result-cache hit rates, the
+dataset instance-LRU hit rates (from :mod:`repro.datasets.scenarios`), and
+per-algorithm latency.  All updates take the internal lock — request
+handling runs on the event loop while batches execute in a worker thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..datasets import instance_cache_stats
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe counters for one :class:`~repro.service.server.SolverService`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self.requests_total = 0
+        self.responses_total = 0
+        self.errors_total = 0
+        self.batches_total = 0
+        self.batched_points_total = 0
+        self.max_batch_size = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._algorithms: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests_total += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches_total += 1
+            self.batched_points_total += size
+            self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_response(self, algorithm: str, seconds: float, *, cached: bool) -> None:
+        with self._lock:
+            self.responses_total += 1
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            stats = self._algorithms.setdefault(
+                algorithm,
+                {"count": 0.0, "seconds_total": 0.0, "seconds_min": float("inf"), "seconds_max": 0.0},
+            )
+            stats["count"] += 1
+            stats["seconds_total"] += seconds
+            stats["seconds_min"] = min(stats["seconds_min"], seconds)
+            stats["seconds_max"] = max(stats["seconds_max"], seconds)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready view of every counter (the ``/metrics`` body)."""
+        with self._lock:
+            batches = self.batches_total
+            cache_lookups = self.cache_hits + self.cache_misses
+            algorithms = {
+                name: {
+                    "count": int(stats["count"]),
+                    "seconds_total": stats["seconds_total"],
+                    "seconds_mean": stats["seconds_total"] / stats["count"],
+                    "seconds_min": stats["seconds_min"],
+                    "seconds_max": stats["seconds_max"],
+                }
+                for name, stats in sorted(self._algorithms.items())
+            }
+            return {
+                "uptime_seconds": time.time() - self._started,
+                "requests_total": self.requests_total,
+                "responses_total": self.responses_total,
+                "errors_total": self.errors_total,
+                "batches_total": batches,
+                "batched_points_total": self.batched_points_total,
+                "batch_size_mean": (self.batched_points_total / batches) if batches else 0.0,
+                "batch_size_max": self.max_batch_size,
+                "result_cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": (self.cache_hits / cache_lookups) if cache_lookups else 0.0,
+                },
+                "instance_cache": instance_cache_stats(),
+                "algorithms": algorithms,
+            }

@@ -1,0 +1,324 @@
+"""The always-on solver service: a stdlib-only asyncio HTTP server.
+
+``repro serve`` binds this server; it speaks just enough HTTP/1.1
+(keep-alive, ``Content-Length`` bodies) for load generators and ordinary
+HTTP clients, with zero dependencies beyond the standard library.
+
+Routes
+------
+``POST /solve``
+    One JSON solve request (see :mod:`repro.service.api`).  Concurrent
+    requests are micro-batched through
+    :class:`~repro.service.batcher.MicroBatcher` into a single
+    :func:`~repro.backends.run_sweep` call; the response body is canonical
+    JSON, byte-identical to :func:`~repro.service.api.solve_direct` for the
+    same request.  The ``X-Repro-Cache`` header says whether the result was
+    replayed from the :class:`~repro.backends.ResultCache`.
+``GET /metrics``
+    Request counts, batch sizes, cache hit rates, per-algorithm latency.
+``GET /healthz``
+    Liveness probe.
+``GET /algorithms`` / ``GET /scenarios``
+    The service's algorithm registry and workload scenario registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any
+
+from ..backends import ResultCache
+from ..datasets import SCENARIOS, configure_instance_cache
+from .api import (
+    ALGORITHMS,
+    ServiceError,
+    parse_solve_request,
+    render_response,
+    request_point,
+)
+from .batcher import MicroBatcher
+from .metrics import ServiceMetrics
+
+__all__ = ["SolverService", "ServiceHandle", "start_in_background", "serve"]
+
+#: Largest accepted request body (a solve request is tiny; anything bigger
+#: is a client error, not a workload).
+_MAX_BODY = 1 << 20
+
+_JSON = [("Content-Type", "application/json")]
+
+
+class SolverService:
+    """Request handling + batching + metrics for one service instance."""
+
+    def __init__(
+        self,
+        *,
+        backend: str = "batch",
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+        max_batch: int = 32,
+        batch_wait_ms: float = 5.0,
+        instance_cache: int = 64,
+    ) -> None:
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        configure_instance_cache(instance_cache)
+        self.batcher = MicroBatcher(
+            backend=backend,
+            jobs=jobs,
+            cache=self.cache,
+            max_batch=max_batch,
+            max_wait_ms=batch_wait_ms,
+            on_batch=self.metrics.record_batch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def handle(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, list[tuple[str, str]], bytes]:
+        """Dispatch one request; returns ``(status, extra headers, body)``."""
+        try:
+            if path == "/solve":
+                if method != "POST":
+                    raise ServiceError("use POST for /solve", status=405)
+                return await self._solve(body)
+            if method != "GET":
+                raise ServiceError(f"use GET for {path}", status=405)
+            if path == "/metrics":
+                return 200, _JSON, _dumps(self.metrics.snapshot())
+            if path == "/healthz":
+                return 200, _JSON, _dumps({"status": "ok"})
+            if path == "/algorithms":
+                return 200, _JSON, _dumps(dict(sorted(ALGORITHMS.items())))
+            if path == "/scenarios":
+                listing = {
+                    name: {
+                        "kind": scenario.kind,
+                        "sized": scenario.sized,
+                        "description": scenario.description,
+                    }
+                    for name, scenario in sorted(SCENARIOS.items())
+                }
+                return 200, _JSON, _dumps(listing)
+            raise ServiceError(f"no such route {path!r}", status=404)
+        except ServiceError as exc:
+            self.metrics.record_error()
+            return exc.status, _JSON, _dumps({"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - a solve failure is a 500
+            self.metrics.record_error()
+            return 500, _JSON, _dumps({"error": f"{type(exc).__name__}: {exc}"})
+
+    async def _solve(self, body: bytes) -> tuple[int, list[tuple[str, str]], bytes]:
+        self.metrics.record_request()
+        # Validation is off-loop: a first hit on a `file:` scenario
+        # fingerprints and ingests the dataset, which must not stall every
+        # other connection (health probes included) for the parse duration.
+        request = await asyncio.get_running_loop().run_in_executor(
+            None, parse_solve_request, body
+        )
+        started = time.perf_counter()
+        result = await self.batcher.submit(request_point(request))
+        payload = render_response(request, result)
+        self.metrics.record_response(
+            request.algorithm, time.perf_counter() - started, cached=result.cached
+        )
+        headers = _JSON + [("X-Repro-Cache", "hit" if result.cached else "miss")]
+        return 200, headers, payload
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ServiceError as exc:
+                    # Unparseable wire data: answer once, then drop the
+                    # connection (the stream position is unreliable now).
+                    self.metrics.record_error()
+                    body = _dumps({"error": str(exc)})
+                    writer.write(_render_http(exc.status, _JSON, body, False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, extra, payload = await self.handle(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                writer.write(_render_http(status, extra, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Bind the server and start the batcher; returns the asyncio server."""
+        self.batcher.start()
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    async def aclose(self) -> None:
+        await self.batcher.aclose()
+
+
+# --------------------------------------------------------------------------- #
+# Wire helpers
+# --------------------------------------------------------------------------- #
+def _dumps(payload: Any) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _render_http(
+    status: int, headers: list[tuple[str, str]], body: bytes, keep_alive: bool
+) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("ascii").split(None, 2)
+    except ValueError:
+        raise ServiceError("malformed request line", status=400) from None
+    headers: dict[str, str] = {}
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ServiceError("invalid Content-Length header", status=400) from None
+    if length < 0:
+        raise ServiceError("invalid Content-Length header", status=400)
+    if length > _MAX_BODY:
+        raise ServiceError("request body too large", status=413)
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers, body
+
+
+# --------------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------------- #
+class ServiceHandle:
+    """A service running on a background thread (tests, benchmarks).
+
+    Use as a context manager::
+
+        with start_in_background(backend="batch") as handle:
+            http.client.HTTPConnection("127.0.0.1", handle.port) ...
+    """
+
+    def __init__(self, service: SolverService, host: str) -> None:
+        self.service = service
+        self.host = host
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await self.service.start(self.host, 0)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            await self.service.aclose()
+
+    def start(self, timeout: float = 30.0) -> "ServiceHandle":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_in_background(host: str = "127.0.0.1", **service_kwargs: Any) -> ServiceHandle:
+    """Start a :class:`SolverService` on a daemon thread; returns its handle."""
+    return ServiceHandle(SolverService(**service_kwargs), host)
+
+
+async def _serve_async(service: SolverService, host: str, port: int) -> None:
+    server = await service.start(host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro service listening on http://{bound[0]}:{bound[1]}", flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.aclose()
+
+
+def serve(host: str = "127.0.0.1", port: int = 8080, **service_kwargs: Any) -> int:
+    """Blocking entry point used by ``repro serve``; returns an exit code."""
+    service = SolverService(**service_kwargs)
+    try:
+        asyncio.run(_serve_async(service, host, port))
+    except KeyboardInterrupt:
+        print("repro service stopped", flush=True)
+    return 0

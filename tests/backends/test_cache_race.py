@@ -1,0 +1,76 @@
+"""Regression test: concurrent writers must not tear ``ResultCache`` entries.
+
+``ResultCache.store`` used a fixed ``<digest>.tmp`` temp name, so two
+processes sharing a cache directory could interleave their write/replace
+pairs: one crashed with ``FileNotFoundError`` replacing a temp file the
+other had already published, and a torn JSON entry could be left behind.
+The fix writes through a unique per-writer temp file, so hammering one
+point from many processes must leave every writer alive and the published
+entry loadable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.backends import ResultCache, SweepPoint, execute_point
+from repro.experiments.harness import ExperimentRecord
+
+
+def _toy_point(rng: np.random.Generator, *, scale: float = 1.0) -> ExperimentRecord:
+    """Module-level (hence picklable) toy experiment."""
+    return ExperimentRecord("toy", metrics={"value": scale * float(rng.random())})
+
+
+#: The single point every writer hammers (identical digest in all processes).
+_POINT = SweepPoint("toy", _toy_point, {"scale": 1.0}, seed=0)
+
+_WRITES_PER_PROCESS = 200
+_NUM_PROCESSES = 4
+
+
+def _hammer(directory: str, writes: int) -> None:
+    cache = ResultCache(directory)
+    result = execute_point(_POINT)
+    for _ in range(writes):
+        cache.store(_POINT, result)
+
+
+class TestConcurrentStore:
+    def test_parallel_writers_never_crash_or_tear(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        ctx = mp.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer, args=(directory, _WRITES_PER_PROCESS))
+            for _ in range(_NUM_PROCESSES)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+        # Before the fix several writers died with FileNotFoundError in
+        # os.replace; every exit code must be clean now.
+        assert [proc.exitcode for proc in procs] == [0] * _NUM_PROCESSES
+
+        cache = ResultCache(directory)
+        loaded = cache.load(_POINT)
+        assert loaded is not None, "published entry must be complete, parseable JSON"
+        assert loaded.cached
+        direct = execute_point(_POINT)
+        assert [r.metrics for r in loaded.records] == [r.metrics for r in direct.records]
+        # No stray temp files survive the hammer.
+        leftovers = [p.name for p in (tmp_path / "cache").iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_store_cleans_up_temp_on_failure(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = execute_point(_POINT)
+        result.records = [object()]  # not an ExperimentRecord -> store raises
+        try:
+            cache.store(_POINT, result)
+        except TypeError:
+            pass
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

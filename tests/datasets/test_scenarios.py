@@ -7,10 +7,13 @@ import pytest
 
 from repro.datasets import (
     SCENARIOS,
+    InstanceCache,
     Scenario,
     build_scenario,
     build_scenario_sized,
+    configure_instance_cache,
     ensure_edge_weights,
+    instance_cache_stats,
     register_scenario,
     resolve_scenario,
     save_dataset,
@@ -122,6 +125,95 @@ class TestResolution:
         save_dataset(path, gnm_graph(10, 20, rng))
         with pytest.raises(ValueError, match="fixed size"):
             build_scenario_sized(f"file:{path}", 100, np.random.default_rng(0))
+
+
+class TestInstanceCache:
+    def _write(self, tmp_path, name, edges):
+        path = tmp_path / name
+        path.write_text("".join(f"{u} {v}\n" for u, v in edges))
+        return path
+
+    def test_hit_skips_reingestion(self, tmp_path):
+        cache = InstanceCache(capacity=4)
+        path = self._write(tmp_path, "a.txt", [(0, 1), (1, 2)])
+        _, first, _ = cache.load(str(path))
+        _, second, _ = cache.load(str(path))
+        assert first is second  # same materialized object, no re-parse
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_stat_change_invalidates(self, tmp_path):
+        cache = InstanceCache(capacity=4)
+        path = self._write(tmp_path, "a.txt", [(0, 1)])
+        cache.load(str(path))
+        self._write(tmp_path, "a.txt", [(0, 1), (1, 2), (2, 3)])
+        _, obj, _ = cache.load(str(path))
+        assert obj.num_edges == 3
+        assert cache.misses == 2
+
+    def test_lru_evicts_least_recently_used(self, tmp_path):
+        cache = InstanceCache(capacity=2)
+        paths = [self._write(tmp_path, f"{i}.txt", [(0, 1)]) for i in range(3)]
+        cache.load(str(paths[0]))
+        cache.load(str(paths[1]))
+        cache.load(str(paths[0]))  # refresh 0; 1 is now least recent
+        cache.load(str(paths[2]))  # evicts 1
+        hits_before = cache.hits
+        cache.load(str(paths[0]))
+        assert cache.hits == hits_before + 1  # 0 survived
+        misses_before = cache.misses
+        cache.load(str(paths[1]))
+        assert cache.misses == misses_before + 1  # 1 was evicted
+
+    def test_resize_and_stats(self, tmp_path):
+        cache = InstanceCache(capacity=3)
+        for i in range(3):
+            cache.load(str(self._write(tmp_path, f"{i}.txt", [(0, 1)])))
+        cache.resize(1)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["capacity"] == 1
+        assert stats["hits"] + stats["misses"] == 3
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+    def test_missing_file_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            InstanceCache().load(str(tmp_path / "nope.txt"))
+
+    def test_concurrent_loads_are_thread_safe(self, tmp_path):
+        # Regression: the hit path's pop/reinsert recency refresh could
+        # KeyError when two threads (service event loop + sweep worker)
+        # raced on the same entry.
+        import threading
+
+        cache = InstanceCache(capacity=2)
+        paths = [str(self._write(tmp_path, f"{i}.txt", [(0, 1)])) for i in range(3)]
+        errors: list[BaseException] = []
+
+        def hammer(path):
+            try:
+                for _ in range(300):
+                    _, obj, _ = cache.load(path)
+                    assert obj.num_edges == 1
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(paths[i % 3],)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 6 * 300
+
+    def test_process_wide_cache_is_configurable(self):
+        cache = configure_instance_cache(32)
+        assert cache.capacity == 32
+        assert instance_cache_stats()["capacity"] == 32
+        configure_instance_cache(8)  # restore the default capacity
+        assert instance_cache_stats()["capacity"] == 8
 
 
 class TestEnsureEdgeWeights:

@@ -95,3 +95,71 @@ class TestHashPartition:
     def test_invalid_machine_count(self):
         with pytest.raises(ValueError):
             hash_partition([1, 2, 3], 0)
+
+    def test_negative_keys_accepted(self):
+        # Regression: negative Python ints used to raise
+        # ``OverflowError: Python integer -1 out of bounds for uint64``.
+        assign = hash_partition([-1, -2, 0, 3], 4)
+        assert assign.shape == (4,)
+        assert assign.min() >= 0 and assign.max() < 4
+
+    def test_negative_keys_match_twos_complement(self):
+        # A signed key partitions like its 64-bit two's-complement pattern,
+        # so signed and unsigned views of the same bits agree.
+        signed = np.array([-1, -5, 7], dtype=np.int64)
+        unsigned = signed.view(np.uint64)
+        np.testing.assert_array_equal(
+            hash_partition(signed, 6), hash_partition(unsigned, 6)
+        )
+
+    def test_negative_list_matches_negative_array(self):
+        keys = [-9, -1, 0, 1, 2**40]
+        np.testing.assert_array_equal(
+            hash_partition(keys, 5), hash_partition(np.array(keys, dtype=np.int64), 5)
+        )
+
+    def test_empty_keys(self):
+        assert hash_partition([], 4).size == 0
+
+
+class TestPartitionProperties:
+    """Property-style invariants over many (num_items, num_machines) shapes."""
+
+    SHAPES = [(0, 1), (1, 1), (5, 3), (64, 64), (100, 7), (1000, 13), (257, 256)]
+
+    @pytest.mark.parametrize("num_items,num_machines", SHAPES)
+    def test_balanced_assigns_every_item_to_a_valid_machine(self, num_items, num_machines):
+        assign = balanced_partition(num_items, num_machines)
+        assert assign.shape == (num_items,)
+        if num_items:
+            assert assign.min() >= 0 and assign.max() < num_machines
+
+    @pytest.mark.parametrize("num_items,num_machines", SHAPES)
+    def test_balanced_block_sizes_differ_by_at_most_one(self, num_items, num_machines):
+        counts = partition_counts(balanced_partition(num_items, num_machines), num_machines)
+        assert counts.max() - counts.min() <= 1
+
+    @pytest.mark.parametrize("num_items,num_machines", SHAPES)
+    def test_counts_sum_to_num_items(self, num_items, num_machines, rng):
+        for assign in (
+            balanced_partition(num_items, num_machines),
+            random_partition(num_items, num_machines, rng),
+            hash_partition(np.arange(num_items) - num_items // 2, num_machines),
+        ):
+            counts = partition_counts(assign, num_machines)
+            assert counts.shape == (num_machines,)
+            assert counts.sum() == num_items
+
+    @pytest.mark.parametrize("num_items,num_machines", SHAPES)
+    def test_hash_partition_stable_across_calls(self, num_items, num_machines):
+        keys = np.arange(num_items, dtype=np.int64) * 37 - 11
+        np.testing.assert_array_equal(
+            hash_partition(keys, num_machines), hash_partition(keys.copy(), num_machines)
+        )
+
+    @pytest.mark.parametrize("num_items,num_machines", SHAPES)
+    def test_random_partition_assigns_valid_machines(self, num_items, num_machines, rng):
+        assign = random_partition(num_items, num_machines, rng)
+        assert assign.shape == (num_items,)
+        if num_items:
+            assert assign.min() >= 0 and assign.max() < num_machines

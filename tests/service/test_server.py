@@ -1,0 +1,199 @@
+"""Live-server tests: the service must answer exactly like the library.
+
+Each test starts a real :class:`SolverService` on a free port (background
+thread, asyncio server) and talks plain HTTP to it.  The load-bearing
+assertion throughout: a served response is byte-identical to
+:func:`solve_direct` for the same request, concurrent or not, cached or
+not.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service import parse_solve_request, solve_direct, start_in_background
+
+FAST = {"algorithm": "mis", "params": {"n": 40, "c": 0.35}, "seed": 5}
+FIXTURE = Path(__file__).resolve().parents[1] / "data" / "social-small.txt"
+
+
+def _request(port, method, path, body=None, timeout=60):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if isinstance(body, dict) else body
+        conn.request(method, path, payload)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def _burst(port, bodies, timeout=120):
+    """Fire one request per body concurrently; returns results in order."""
+    results: list[tuple[int, dict, bytes] | None] = [None] * len(bodies)
+
+    def hit(index, body):
+        results[index] = _request(port, "POST", "/solve", body, timeout=timeout)
+
+    threads = [
+        threading.Thread(target=hit, args=(index, body))
+        for index, body in enumerate(bodies)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(result is not None for result in results)
+    return results
+
+
+@pytest.fixture(scope="module")
+def server():
+    with start_in_background(backend="batch", max_batch=16, batch_wait_ms=10.0) as handle:
+        yield handle
+
+
+class TestSolveEndpoint:
+    def test_response_matches_direct_library_call(self, server):
+        golden = solve_direct(parse_solve_request(FAST))
+        status, headers, body = _request(server.port, "POST", "/solve", FAST)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert body == golden
+
+    def test_concurrent_identical_burst_is_byte_identical(self, server):
+        golden = solve_direct(parse_solve_request(FAST))
+        results = _burst(server.port, [FAST] * 8)
+        assert [status for status, _, _ in results] == [200] * 8
+        assert all(body == golden for _, _, body in results)
+
+    def test_concurrent_distinct_requests_each_get_their_own_answer(self, server):
+        bodies = [{**FAST, "seed": seed} for seed in range(6)]
+        goldens = [solve_direct(parse_solve_request(body)) for body in bodies]
+        results = _burst(server.port, bodies)
+        for (status, _, body), golden in zip(results, goldens):
+            assert status == 200
+            assert body == golden
+        assert len({body for _, _, body in results}) == len(bodies)
+
+    def test_mixed_algorithms_in_one_burst(self, server):
+        bodies = [
+            {"algorithm": "mis", "params": {"n": 36, "c": 0.35}, "seed": 1},
+            {"algorithm": "maximal-clique", "params": {"n": 30, "c": 0.45}, "seed": 2},
+            {"algorithm": "vertex-colouring", "params": {"n": 40, "c": 0.35}, "seed": 3},
+        ]
+        goldens = [solve_direct(parse_solve_request(body)) for body in bodies]
+        for (status, _, body), golden in zip(_burst(server.port, bodies), goldens):
+            assert status == 200
+            assert body == golden
+
+    def test_file_scenario_served(self, server):
+        body = {"algorithm": "mis", "scenario": f"file:{FIXTURE}", "seed": 4}
+        golden = solve_direct(parse_solve_request(body))
+        status, _, served = _request(server.port, "POST", "/solve", body)
+        assert status == 200
+        assert served == golden
+
+    def test_keep_alive_serves_multiple_requests_per_connection(self, server):
+        golden = solve_direct(parse_solve_request(FAST))
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+        try:
+            for _ in range(3):
+                conn.request("POST", "/solve", json.dumps(FAST))
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.read() == golden
+        finally:
+            conn.close()
+
+
+class TestResultCacheIntegration:
+    def test_replay_is_a_hit_and_byte_identical(self, tmp_path):
+        with start_in_background(
+            backend="serial", max_batch=4, batch_wait_ms=1.0, cache_dir=str(tmp_path)
+        ) as handle:
+            golden = solve_direct(parse_solve_request(FAST))
+            status, first_headers, first = _request(handle.port, "POST", "/solve", FAST)
+            assert status == 200
+            assert first_headers["X-Repro-Cache"] == "miss"
+            status, second_headers, second = _request(handle.port, "POST", "/solve", FAST)
+            assert status == 200
+            assert second_headers["X-Repro-Cache"] == "hit"
+            assert first == second == golden
+
+
+class TestAuxiliaryEndpoints:
+    def test_healthz(self, server):
+        status, _, body = _request(server.port, "GET", "/healthz")
+        assert (status, json.loads(body)) == (200, {"status": "ok"})
+
+    def test_algorithms_listing(self, server):
+        status, _, body = _request(server.port, "GET", "/algorithms")
+        assert status == 200
+        assert json.loads(body)["matching"] == "fig1-matching"
+
+    def test_scenarios_listing(self, server):
+        status, _, body = _request(server.port, "GET", "/scenarios")
+        listing = json.loads(body)
+        assert status == 200
+        assert listing["powerlaw-dense"]["kind"] == "graph"
+        assert listing["coverage-planning"]["kind"] == "setcover"
+
+    def test_metrics_shape(self, server):
+        _request(server.port, "POST", "/solve", FAST)
+        status, _, body = _request(server.port, "GET", "/metrics")
+        metrics = json.loads(body)
+        assert status == 200
+        assert metrics["requests_total"] >= 1
+        assert metrics["responses_total"] >= 1
+        assert metrics["batches_total"] >= 1
+        assert metrics["batch_size_max"] >= 1
+        assert 0.0 <= metrics["result_cache"]["hit_rate"] <= 1.0
+        assert "hit_rate" in metrics["instance_cache"]
+        algorithm = metrics["algorithms"]["mis"]
+        assert algorithm["count"] >= 1
+        assert algorithm["seconds_min"] <= algorithm["seconds_mean"] <= algorithm["seconds_max"]
+
+
+class TestErrorHandling:
+    def test_unknown_route_is_404(self, server):
+        status, _, body = _request(server.port, "GET", "/nope")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_wrong_method_is_405(self, server):
+        assert _request(server.port, "GET", "/solve")[0] == 405
+        assert _request(server.port, "POST", "/metrics", "{}")[0] == 405
+
+    def test_malformed_json_is_400(self, server):
+        status, _, body = _request(server.port, "POST", "/solve", "{not json")
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    @pytest.mark.parametrize("length", ["abc", "-5"])
+    def test_bad_content_length_is_400_not_a_dropped_connection(self, server, length):
+        # Regression: a non-numeric/negative Content-Length used to raise an
+        # uncaught ValueError, dropping the connection with no response.
+        with socket.create_connection(("127.0.0.1", server.port), timeout=30) as sock:
+            sock.sendall(
+                f"POST /solve HTTP/1.1\r\nContent-Length: {length}\r\n\r\n".encode()
+            )
+            sock.settimeout(30)
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_unknown_algorithm_is_400(self, server):
+        status, _, _ = _request(server.port, "POST", "/solve", {"algorithm": "simplex"})
+        assert status == 400
+
+    def test_errors_are_counted(self, server):
+        before = json.loads(_request(server.port, "GET", "/metrics")[2])["errors_total"]
+        _request(server.port, "POST", "/solve", {"algorithm": "simplex"})
+        after = json.loads(_request(server.port, "GET", "/metrics")[2])["errors_total"]
+        assert after == before + 1
