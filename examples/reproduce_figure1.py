@@ -14,10 +14,9 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
+import repro
 from repro.analysis import format_table
-from repro.experiments import FIGURE1_EXPERIMENTS, aggregate_records, run_trials
+from repro.experiments import aggregate_records
 
 
 def main() -> None:
@@ -27,9 +26,10 @@ def main() -> None:
     args = parser.parse_args()
 
     rows: list[list[object]] = []
-    for name, experiment in FIGURE1_EXPERIMENTS.items():
-        records = run_trials(lambda rng: experiment(rng), seed=args.seed, trials=args.trials)
-        record = aggregate_records(records)
+    for spec in repro.iter_algorithms():
+        name = spec.experiment
+        result = repro.solve(spec.name, seed=args.seed, trials=args.trials)
+        record = aggregate_records(result.records)
         ratio_key = next(
             (k for k in ("ratio_vs_optimal", "ratio_vs_lp", "colours_over_delta") if k in record.metrics),
             None,

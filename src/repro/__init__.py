@@ -18,6 +18,12 @@ This package provides:
   (filtering, Luby, Chvátal greedy, Misra–Gries, exact solvers);
 * :mod:`repro.analysis`, :mod:`repro.experiments` — theoretical bounds,
   approximation-ratio helpers, and the Figure-1 reproduction harness;
+* :mod:`repro.registry` — the unified algorithm registry
+  (:class:`~repro.registry.AlgorithmSpec`, the
+  :func:`~repro.registry.register_algorithm` decorator) and the public
+  :func:`repro.solve` facade, the single dispatch path the experiment
+  drivers, the CLI and the HTTP service all resolve algorithms through
+  (``docs/API.md``);
 * :mod:`repro.backends` — pluggable execution backends (serial,
   multiprocessing, batch) plus a disk result-cache, behind the single
   :func:`repro.backends.run_sweep` entry point;
@@ -35,6 +41,16 @@ This package provides:
 
 Quickstart
 ----------
+
+The one-call path — solve a problem instance through the algorithm
+registry (same result, byte-for-byte, as the CLI and the HTTP service):
+
+>>> import repro
+>>> result = repro.solve("matching", params={"n": 80, "mu": 0.25}, seed=7)
+>>> result.valid and result.metrics["weight"] > 0
+True
+
+The underlying building blocks remain available directly:
 
 >>> import numpy as np
 >>> from repro import densified_graph, mpc_weighted_matching, is_matching
@@ -56,10 +72,21 @@ from . import (
     graphs,
     kernels,
     mapreduce,
+    registry,
     service,
     setcover,
 )
 from ._version import __version__
+from .registry import (
+    AlgorithmSpec,
+    SolveRequest,
+    SolveResult,
+    algorithm_names,
+    get_algorithm,
+    iter_algorithms,
+    register_algorithm,
+    solve,
+)
 from .backends import (
     BatchBackend,
     MultiprocessingBackend,
@@ -158,7 +185,17 @@ __all__ = [
     "baselines",
     "analysis",
     "experiments",
+    "registry",
     "service",
+    # the solve facade + algorithm registry
+    "solve",
+    "SolveRequest",
+    "SolveResult",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "iter_algorithms",
+    "register_algorithm",
     # datasets & scenarios
     "Scenario",
     "build_scenario",

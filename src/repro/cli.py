@@ -1,6 +1,17 @@
 """Command-line interface for running the reproduction experiments.
 
-Installed as ``python -m repro``.  Seven subcommands:
+Installed as ``python -m repro``.  Subcommands:
+
+``solve``
+    Solve one problem instance through the unified algorithm registry and
+    print the canonical JSON response — byte-identical to
+    :func:`repro.solve` and to a ``repro serve`` response body for the
+    same ``(algorithm, scenario, params, seed, trials)``.
+
+``algorithms``
+    Print the algorithm registry (name, kind, parameters, guarantee) — the
+    same source of truth behind ``repro solve``, the experiment drivers,
+    and the service's ``/algorithms`` route.
 
 ``figure1``
     Run every (or selected) Figure-1 experiment and print the measured table
@@ -57,6 +68,8 @@ Examples
 --------
 ::
 
+    python -m repro solve matching --seed 7 --param n=80 --param mu=0.25
+    python -m repro algorithms
     python -m repro figure1 --seed 7 --trials 3
     python -m repro figure1 --backend mp --jobs 4 --cache-dir .sweep-cache
     python -m repro figure1 --scenario social-sparse
@@ -91,7 +104,6 @@ from .datasets import (
     save_dataset,
 )
 from .experiments import (
-    FIGURE1_EXPERIMENTS,
     rounds_vs_c,
     rounds_vs_n,
     run_figure1,
@@ -101,6 +113,13 @@ from .experiments import (
     sweep_sample_budget,
 )
 from .experiments.harness import ExperimentRecord
+from .registry import (
+    RegistryError,
+    UnknownAlgorithmError,
+    experiment_names,
+    iter_algorithms,
+)
+from .registry import solve as registry_solve
 
 __all__ = ["main", "build_parser"]
 
@@ -159,6 +178,21 @@ def _add_scenario_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _param_value(raw: str) -> object:
+    """Parse a ``--param`` value: JSON when possible, a bare string otherwise."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _param_pair(value: str) -> tuple[str, object]:
+    key, sep, raw = value.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"{value!r} is not of the form key=value")
+    return key, _param_value(raw)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -170,13 +204,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    solve_lines = [
+        f"  {spec.name:<18} {spec.guarantee}" for spec in iter_algorithms()
+    ]
+    slv = sub.add_parser(
+        "solve",
+        help="solve one instance via the algorithm registry (canonical JSON output)",
+        description=(
+            "Solve one problem instance through the unified algorithm registry "
+            "and print the canonical JSON response — byte-identical to "
+            "repro.solve() and to a `repro serve` response for the same "
+            "(algorithm, scenario, params, seed, trials)."
+        ),
+        epilog="registered algorithms (see `repro algorithms`):\n" + "\n".join(solve_lines),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    slv.add_argument(
+        "algorithm",
+        metavar="ALGORITHM",
+        help="registry name or alias (see `repro algorithms`)",
+    )
+    slv.add_argument("--seed", type=int, default=0)
+    slv.add_argument("--trials", type=_positive_int, default=1)
+    slv.add_argument(
+        "--param",
+        "-p",
+        dest="params",
+        type=_param_pair,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="solver parameter override (repeatable; values parsed as JSON "
+        "when possible, e.g. -p n=80 -p mu=0.25)",
+    )
+    slv.add_argument(
+        "--params-json",
+        default=None,
+        metavar="JSON",
+        help="solver parameter overrides as one JSON object",
+    )
+    slv.add_argument(
+        "--pretty", action="store_true", help="indent the JSON instead of canonical bytes"
+    )
+    _add_scenario_option(slv)
+    _add_backend_options(slv)
+
+    algs = sub.add_parser(
+        "algorithms",
+        help="list the algorithm registry (name, kind, params, guarantee)",
+    )
+    algs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
     fig1 = sub.add_parser("figure1", help="run the Figure-1 experiments")
     fig1.add_argument("--seed", type=int, default=2018)
     fig1.add_argument("--trials", type=int, default=1)
     fig1.add_argument(
         "--only",
         nargs="*",
-        choices=sorted(FIGURE1_EXPERIMENTS),
+        choices=sorted(experiment_names()),
         help="restrict to these experiments",
     )
     fig1.add_argument("--json", action="store_true", help="emit JSON instead of a table")
@@ -184,7 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_options(fig1)
 
     single = sub.add_parser("experiment", help="run one experiment and print its record")
-    single.add_argument("name", choices=sorted(FIGURE1_EXPERIMENTS))
+    single.add_argument("name", choices=sorted(experiment_names()))
     single.add_argument("--seed", type=int, default=2018)
     single.add_argument("--trials", type=int, default=1)
     single.add_argument("--json", action="store_true")
@@ -350,6 +435,61 @@ def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
         "jobs": args.jobs,
         "cache": args.cache_dir,
     }
+
+
+def _run_solve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    params: dict[str, object] = {}
+    if args.params_json is not None:
+        try:
+            decoded = json.loads(args.params_json)
+        except json.JSONDecodeError as exc:
+            parser.error(f"--params-json is not valid JSON: {exc}")
+        if not isinstance(decoded, dict):
+            parser.error("--params-json must be a JSON object")
+        params.update(decoded)
+    params.update(dict(args.params))
+    try:
+        result = registry_solve(
+            args.algorithm,
+            scenario=args.scenario,
+            params=params,
+            seed=args.seed,
+            trials=args.trials,
+            **_backend_kwargs(args),
+        )
+    except (UnknownAlgorithmError, RegistryError) as exc:
+        parser.error(str(exc))
+    if args.pretty:
+        print(json.dumps(result.payload(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.buffer.write(result.canonical_json() + b"\n")
+        sys.stdout.buffer.flush()
+    return 0 if result.valid else 1
+
+
+def _run_algorithms(args: argparse.Namespace) -> int:
+    specs = list(iter_algorithms())
+    if args.json:
+        # Same rendering as the service's GET /algorithms — one source of truth.
+        payload = {spec.name: spec.listing_payload() for spec in specs}
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [
+            spec.name,
+            spec.kind,
+            ", ".join(f"{k}={v!r}" for k, v in spec.params.items()),
+            spec.guarantee,
+            spec.theorem,
+        ]
+        for spec in specs
+    ]
+    print(format_table(["algorithm", "kind", "params (defaults)", "guarantee", "theorem"], rows))
+    print(
+        "\naliases: "
+        + "; ".join(f"{spec.name} ← {', '.join(spec.aliases)}" for spec in specs if spec.aliases)
+    )
+    return 0
 
 
 def _run_figure1(args: argparse.Namespace) -> int:
@@ -552,6 +692,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "algorithms":
+        return _run_algorithms(args)
     if args.command == "data":
         try:
             return _run_data(args)
@@ -580,6 +722,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("bench measures wall-clock; results must not be cached")
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "solve":
+        return _run_solve(args, parser)
     if args.command == "figure1":
         return _run_figure1(args)
     if args.command == "experiment":

@@ -12,6 +12,12 @@ and returns an :class:`~repro.experiments.harness.ExperimentRecord` holding:
   (approximation ratio / colour count, leading round expression, leading
   space expression) as produced by :mod:`repro.analysis.bounds`.
 
+Every experiment is registered into the unified algorithm registry via
+:func:`~repro.registry.register_algorithm`, which is what the Figure-1
+driver below, :func:`repro.solve`, the CLI, and the HTTP service all
+dispatch through.  Registration order fixes the Figure-1 row order (and
+therefore each row's derived seed) — append new rows, never reorder.
+
 The benchmark scripts in ``benchmarks/`` simply call these functions and
 assert the "shape" claims: measured rounds within a constant factor of the
 theorem's expression, space within its budget, ratio within the guarantee.
@@ -69,6 +75,12 @@ from ..graphs import (
     is_proper_edge_colouring,
     is_proper_vertex_colouring,
     is_vertex_cover,
+)
+from ..registry import (
+    DeprecatedMapping,
+    get_algorithm,
+    iter_algorithms,
+    register_algorithm,
 )
 from ..setcover import (
     is_cover,
@@ -133,6 +145,16 @@ def _experiment_graph(
 # --------------------------------------------------------------------------- #
 # Covers
 # --------------------------------------------------------------------------- #
+@register_algorithm(
+    "vertex-cover",
+    experiment="fig1-vertex-cover",
+    kind="graph",
+    aliases=("fig1-vertex-cover",),
+    guarantee="2-approximation",
+    theorem="Theorem 2.4",
+    bounds=theory.vertex_cover_bound,
+    baselines=("filtering-vertex-cover", "lp-lower-bound"),
+)
 def vertex_cover_experiment(
     rng: np.random.Generator,
     *,
@@ -177,6 +199,16 @@ def vertex_cover_experiment(
     return record
 
 
+@register_algorithm(
+    "set-cover",
+    experiment="fig1-set-cover-f",
+    kind="setcover",
+    aliases=("fig1-set-cover-f",),
+    guarantee="f-approximation",
+    theorem="Theorem 2.4",
+    bounds=theory.set_cover_f_bound,
+    baselines=("greedy-set-cover", "lp-lower-bound"),
+)
 def set_cover_f_experiment(
     rng: np.random.Generator,
     *,
@@ -226,6 +258,16 @@ def set_cover_f_experiment(
     return record
 
 
+@register_algorithm(
+    "set-cover-greedy",
+    experiment="fig1-set-cover-greedy",
+    kind="setcover",
+    aliases=("fig1-set-cover-greedy",),
+    guarantee="(1+ε)·ln∆-approximation",
+    theorem="Theorem 4.6",
+    bounds=theory.set_cover_greedy_bound,
+    baselines=("greedy-set-cover", "lp-lower-bound"),
+)
 def set_cover_greedy_experiment(
     rng: np.random.Generator,
     *,
@@ -285,6 +327,16 @@ def set_cover_greedy_experiment(
 # --------------------------------------------------------------------------- #
 # Independent set / clique
 # --------------------------------------------------------------------------- #
+@register_algorithm(
+    "mis",
+    experiment="fig1-mis",
+    kind="graph",
+    aliases=("fig1-mis",),
+    guarantee="maximal independent set",
+    theorem="Theorem A.3 / 3.3",
+    bounds=theory.mis_bound,
+    baselines=("luby-mis",),
+)
 def mis_experiment(
     rng: np.random.Generator,
     *,
@@ -322,6 +374,15 @@ def mis_experiment(
     return record
 
 
+@register_algorithm(
+    "maximal-clique",
+    experiment="fig1-maximal-clique",
+    kind="graph",
+    aliases=("fig1-maximal-clique",),
+    guarantee="maximal clique",
+    theorem="Corollary B.1",
+    bounds=theory.maximal_clique_bound,
+)
 def maximal_clique_experiment(
     rng: np.random.Generator,
     *,
@@ -355,6 +416,16 @@ def maximal_clique_experiment(
 # --------------------------------------------------------------------------- #
 # Matchings
 # --------------------------------------------------------------------------- #
+@register_algorithm(
+    "matching",
+    experiment="fig1-matching",
+    kind="graph",
+    aliases=("fig1-matching",),
+    guarantee="2-approximation",
+    theorem="Theorem 5.6",
+    bounds=theory.matching_bound,
+    baselines=("greedy-matching", "filtering-matching", "exact-matching"),
+)
 def matching_experiment(
     rng: np.random.Generator,
     *,
@@ -403,6 +474,16 @@ def matching_experiment(
     return record
 
 
+@register_algorithm(
+    "matching-mu0",
+    experiment="fig1-matching-mu0",
+    kind="graph",
+    aliases=("fig1-matching-mu0",),
+    guarantee="2-approximation",
+    theorem="Appendix C",
+    bounds=theory.matching_mu0_bound,
+    baselines=("exact-matching",),
+)
 def matching_mu0_experiment(
     rng: np.random.Generator,
     *,
@@ -442,6 +523,16 @@ def matching_mu0_experiment(
     return record
 
 
+@register_algorithm(
+    "b-matching",
+    experiment="fig1-b-matching",
+    kind="graph",
+    aliases=("fig1-b-matching",),
+    guarantee="(3 − 2/b + 2ε)-approximation",
+    theorem="Theorem D.3",
+    bounds=theory.b_matching_bound,
+    baselines=("greedy-b-matching",),
+)
 def b_matching_experiment(
     rng: np.random.Generator,
     *,
@@ -494,6 +585,16 @@ def b_matching_experiment(
 # --------------------------------------------------------------------------- #
 # Colouring
 # --------------------------------------------------------------------------- #
+@register_algorithm(
+    "vertex-colouring",
+    experiment="fig1-vertex-colouring",
+    kind="graph",
+    aliases=("fig1-vertex-colouring",),
+    guarantee="(1+o(1))·∆ colours",
+    theorem="Theorem 6.4",
+    bounds=theory.colouring_bound,
+    baselines=("greedy-colouring",),
+)
 def vertex_colouring_experiment(
     rng: np.random.Generator,
     *,
@@ -536,6 +637,16 @@ def vertex_colouring_experiment(
     return record
 
 
+@register_algorithm(
+    "edge-colouring",
+    experiment="fig1-edge-colouring",
+    kind="graph",
+    aliases=("fig1-edge-colouring",),
+    guarantee="(1+o(1))·∆ colours",
+    theorem="Theorem 6.6",
+    bounds=theory.colouring_bound,
+    baselines=("misra-gries",),
+)
 def edge_colouring_experiment(
     rng: np.random.Generator,
     *,
@@ -579,32 +690,28 @@ def edge_colouring_experiment(
     return record
 
 
-#: Registry of the Figure-1 experiments (used by ``run_figure1`` and the
-#: ``examples/reproduce_figure1.py`` script).
-FIGURE1_EXPERIMENTS = {
-    "fig1-vertex-cover": vertex_cover_experiment,
-    "fig1-set-cover-f": set_cover_f_experiment,
-    "fig1-set-cover-greedy": set_cover_greedy_experiment,
-    "fig1-mis": mis_experiment,
-    "fig1-maximal-clique": maximal_clique_experiment,
-    "fig1-matching": matching_experiment,
-    "fig1-matching-mu0": matching_mu0_experiment,
-    "fig1-b-matching": b_matching_experiment,
-    "fig1-vertex-colouring": vertex_colouring_experiment,
-    "fig1-edge-colouring": edge_colouring_experiment,
-}
+#: Deprecated: the old experiment-name → function dict, now a thin
+#: read-only view over the algorithm registry.  Resolve through
+#: :mod:`repro.registry` (or call :func:`repro.solve`) instead.
+FIGURE1_EXPERIMENTS = DeprecatedMapping(
+    "FIGURE1_EXPERIMENTS",
+    lambda: {spec.experiment: spec.solver for spec in iter_algorithms()},
+    "resolve algorithms through repro.registry (get_algorithm / repro.solve)",
+)
 
-#: Which workload kind each Figure-1 row consumes (scenario compatibility).
-FIGURE1_WORKLOAD_KINDS = {
-    name: ("setcover" if name.startswith("fig1-set-cover") else "graph")
-    for name in FIGURE1_EXPERIMENTS
-}
+#: Deprecated alongside it: experiment name → workload kind, also a
+#: registry view (``get_algorithm(name).kind`` is the replacement).
+FIGURE1_WORKLOAD_KINDS = DeprecatedMapping(
+    "FIGURE1_WORKLOAD_KINDS",
+    lambda: {spec.experiment: spec.kind for spec in iter_algorithms()},
+    "use repro.registry.get_algorithm(name).kind",
+)
 
 
 def scenario_experiments(scenario: str) -> list[str]:
     """The Figure-1 rows compatible with a scenario's workload kind."""
     kind = resolve_scenario(scenario).kind
-    return [name for name, k in FIGURE1_WORKLOAD_KINDS.items() if k == kind]
+    return [spec.experiment for spec in iter_algorithms() if spec.kind == kind]
 
 
 def figure1_points(
@@ -626,27 +733,28 @@ def figure1_points(
     generator (the spec string travels in the point kwargs, so caching and
     worker processes see it).
     """
+    rows = {spec.experiment: spec for spec in iter_algorithms()}
     if experiments is None:
-        names = scenario_experiments(scenario) if scenario is not None else list(FIGURE1_EXPERIMENTS)
+        names = scenario_experiments(scenario) if scenario is not None else list(rows)
     else:
         names = list(experiments)
     if scenario is not None:
         # Pin file: specs to their content fingerprint so cache signatures
         # track the dataset's bytes, not just its path.
         scenario = canonical_scenario_spec(scenario)
-    row_index = {name: index for index, name in enumerate(FIGURE1_EXPERIMENTS)}
+    row_index = {name: index for index, name in enumerate(rows)}
     points: list[SweepPoint] = []
     for name in names:
-        if name not in FIGURE1_EXPERIMENTS:
+        if name not in rows:
             raise KeyError(f"unknown Figure-1 experiment {name!r}")
-        kwargs = dict((overrides or {}).get(name, {}))
-        if scenario is not None:
-            kwargs.setdefault("scenario", scenario)
+        row_overrides = dict((overrides or {}).get(name, {}))
+        # A per-row "scenario" override wins over the sweep-wide one (the
+        # pre-registry behaviour of kwargs.setdefault).
+        row_scenario = row_overrides.pop("scenario", scenario)
         points.append(
-            SweepPoint(
-                experiment=name,
-                fn=FIGURE1_EXPERIMENTS[name],
-                kwargs=kwargs,
+            rows[name].build_point(
+                params=row_overrides,
+                scenario=row_scenario,
                 seed=(seed, row_index[name]),
                 trials=max(1, trials),
             )

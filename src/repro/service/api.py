@@ -1,33 +1,44 @@
-"""Solve-request protocol: parsing, validation, and canonical rendering.
+"""Solve-request protocol: the JSON envelope over :mod:`repro.registry`.
 
 A solve request is a JSON object::
 
-    {"algorithm": "matching",            # or any name in ALGORITHMS / fig1-*
+    {"algorithm": "matching",            # any registry name or alias
      "scenario": "powerlaw-dense",       # optional; also "file:<path>"
      "params": {"mu": 0.25, "n": 80},    # optional keyword overrides
      "seed": 7,                          # optional, default 0
      "trials": 1}                        # optional, default 1
 
-and maps 1:1 onto a :class:`~repro.backends.SweepPoint` whose function is
-the corresponding Figure-1 experiment.  The response is rendered by
-:func:`render_response` as *canonical* JSON bytes (sorted keys, fixed
-separators), so a response is a pure function of the request: the server,
-a cached replay, and a direct in-process :func:`solve_direct` call all
-produce byte-identical payloads for the same request.
+and maps 1:1 onto the :class:`~repro.registry.SolveRequest` /
+:class:`~repro.backends.SweepPoint` that :func:`repro.solve` builds for the
+same arguments.  This module only owns the *wire* concerns — JSON decoding,
+the envelope field check (derived from the request dataclass itself), and
+mapping registry errors onto HTTP statuses.  Name resolution, parameter
+validation, point construction, and canonical response rendering all live
+in :mod:`repro.registry.solve`, which is what makes a served response
+byte-identical to :func:`repro.solve` and the ``repro solve`` CLI for the
+same request.
 """
 
 from __future__ import annotations
 
-import inspect
 import json
-from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..backends import SweepPoint, execute_point
-from ..backends.base import PointResult, _jsonable, point_signature
-from ..backends.cache import record_to_payload
-from ..datasets import canonical_scenario_spec, resolve_scenario
-from ..experiments.figure1 import FIGURE1_EXPERIMENTS, FIGURE1_WORKLOAD_KINDS
+from ..backends import execute_point
+from ..backends.base import PointResult
+from ..registry import (
+    DeprecatedMapping,
+    RegistryError,
+    SolveRequest,
+    UnknownAlgorithmError,
+    build_request,
+    canonical_response,
+    get_algorithm,
+    iter_algorithms,
+    request_point,
+    request_signature,
+)
+from ..registry.solve import REQUEST_FIELDS as _REQUEST_FIELDS
 
 __all__ = [
     "ALGORITHMS",
@@ -41,23 +52,13 @@ __all__ = [
     "solve_direct",
 ]
 
-#: Service algorithm names → Figure-1 experiment registry names.  The raw
-#: ``fig1-*`` names are accepted too (they map to themselves).
-ALGORITHMS: dict[str, str] = {
-    "matching": "fig1-matching",
-    "matching-mu0": "fig1-matching-mu0",
-    "b-matching": "fig1-b-matching",
-    "vertex-cover": "fig1-vertex-cover",
-    "set-cover": "fig1-set-cover-f",
-    "set-cover-greedy": "fig1-set-cover-greedy",
-    "mis": "fig1-mis",
-    "maximal-clique": "fig1-maximal-clique",
-    "vertex-colouring": "fig1-vertex-colouring",
-    "edge-colouring": "fig1-edge-colouring",
-}
-
-#: Fields a solve request may carry.
-_REQUEST_FIELDS = {"algorithm", "scenario", "params", "seed", "trials"}
+#: Deprecated: the old service-name → Figure-1 experiment dict, now a thin
+#: read-only view over the algorithm registry (canonical name → experiment).
+ALGORITHMS = DeprecatedMapping(
+    "service.api.ALGORITHMS",
+    lambda: {spec.name: spec.experiment for spec in iter_algorithms()},
+    "resolve names through repro.registry.get_algorithm",
+)
 
 
 class ServiceError(Exception):
@@ -69,64 +70,12 @@ class ServiceError(Exception):
 
 
 def resolve_algorithm(name: str) -> str:
-    """Map a service algorithm name onto its Figure-1 experiment name."""
-    if name in ALGORITHMS:
-        return ALGORITHMS[name]
-    if name in FIGURE1_EXPERIMENTS:
-        return name
-    known = sorted(ALGORITHMS) + sorted(FIGURE1_EXPERIMENTS)
-    raise ServiceError(f"unknown algorithm {name!r}; choose one of {known}")
-
-
-@dataclass(frozen=True)
-class SolveRequest:
-    """A validated solve request (``experiment`` is the resolved fig1 name)."""
-
-    algorithm: str
-    experiment: str
-    scenario: str | None = None
-    params: Mapping[str, Any] = field(default_factory=dict)
-    seed: int = 0
-    trials: int = 1
-
-
-def _validate_params(experiment: str, params: Mapping[str, Any]) -> dict[str, Any]:
-    if not isinstance(params, Mapping):
-        raise ServiceError(f"'params' must be a JSON object, not {type(params).__name__}")
-    fn = FIGURE1_EXPERIMENTS[experiment]
-    allowed = {
-        name
-        for name, parameter in inspect.signature(fn).parameters.items()
-        if parameter.kind == inspect.Parameter.KEYWORD_ONLY and name != "scenario"
-    }
-    clean: dict[str, Any] = {}
-    for key, value in params.items():
-        if key not in allowed:
-            raise ServiceError(
-                f"unknown parameter {key!r} for algorithm {experiment!r}; "
-                f"accepted: {sorted(allowed)}"
-            )
-        clean[str(key)] = value
-    return clean
-
-
-def _validate_scenario(experiment: str, scenario: str | None) -> str | None:
-    if scenario is None:
-        return None
-    if not isinstance(scenario, str) or not scenario:
-        raise ServiceError("'scenario' must be a non-empty string")
+    """Map any accepted algorithm name onto its experiment (row) name."""
     try:
-        resolved = resolve_scenario(scenario)
-        canonical = canonical_scenario_spec(scenario)
-    except (ValueError, OSError) as exc:
-        raise ServiceError(str(exc)) from exc
-    expected = FIGURE1_WORKLOAD_KINDS[experiment]
-    if resolved.kind != expected:
-        raise ServiceError(
-            f"scenario {scenario!r} provides a {resolved.kind} workload but "
-            f"{experiment!r} needs {expected}"
-        )
-    return canonical
+        return get_algorithm(name).experiment
+    except UnknownAlgorithmError as exc:
+        # exc.known is already de-duplicated across names and aliases.
+        raise ServiceError(str(exc)) from None
 
 
 def parse_solve_request(payload: bytes | str | Mapping[str, Any]) -> SolveRequest:
@@ -145,67 +94,29 @@ def parse_solve_request(payload: bytes | str | Mapping[str, Any]) -> SolveReques
         )
     if "algorithm" not in payload:
         raise ServiceError("request is missing the required 'algorithm' field")
-    algorithm = payload["algorithm"]
-    if not isinstance(algorithm, str):
-        raise ServiceError("'algorithm' must be a string")
-    experiment = resolve_algorithm(algorithm)
-
-    seed = payload.get("seed", 0)
-    if isinstance(seed, bool) or not isinstance(seed, int):
-        raise ServiceError("'seed' must be an integer")
-    trials = payload.get("trials", 1)
-    if isinstance(trials, bool) or not isinstance(trials, int) or trials < 1:
-        raise ServiceError("'trials' must be a positive integer")
-
-    params = _validate_params(experiment, payload.get("params") or {})
-    scenario = _validate_scenario(experiment, payload.get("scenario"))
-    return SolveRequest(
-        algorithm=algorithm,
-        experiment=experiment,
-        scenario=scenario,
-        params=params,
-        seed=seed,
-        trials=trials,
-    )
-
-
-def request_point(request: SolveRequest) -> SweepPoint:
-    """The :class:`SweepPoint` a request maps onto (the cache-key identity).
-
-    The point's seed is the request seed verbatim, so the service, a cached
-    replay, and a direct library call on the same request share one
-    signature — and therefore one result.
-    """
-    kwargs = dict(request.params)
-    if request.scenario is not None:
-        kwargs["scenario"] = request.scenario
-    return SweepPoint(
-        experiment=request.experiment,
-        fn=FIGURE1_EXPERIMENTS[request.experiment],
-        kwargs=kwargs,
-        seed=request.seed,
-        trials=request.trials,
-    )
+    try:
+        return build_request(
+            payload["algorithm"],
+            scenario=payload.get("scenario"),
+            # No `or {}` fallback: a falsy non-mapping ([], false, 0) must
+            # hit the same "params must be a mapping" 400 as any other.
+            params=payload.get("params"),
+            seed=payload.get("seed", 0),
+            trials=payload.get("trials", 1),
+        )
+    except (RegistryError, ValueError, OSError) as exc:
+        raise ServiceError(str(exc)) from exc
 
 
 def render_response(request: SolveRequest, result: PointResult) -> bytes:
     """Render a solve response as canonical JSON bytes.
 
-    Sorted keys and fixed separators make the bytes a pure function of the
-    request and its records; ``result.cached`` is deliberately *excluded*
-    (it travels in the ``X-Repro-Cache`` header instead) so cached replays
-    stay byte-identical to fresh computations.
+    Delegates to :func:`repro.registry.canonical_response`;
+    ``result.cached`` is deliberately *excluded* (it travels in the
+    ``X-Repro-Cache`` header instead) so cached replays stay byte-identical
+    to fresh computations.
     """
-    payload = {
-        "algorithm": request.algorithm,
-        "experiment": request.experiment,
-        "scenario": request.scenario,
-        "params": _jsonable(dict(request.params)),
-        "seed": request.seed,
-        "trials": request.trials,
-        "records": [record_to_payload(record) for record in result.records],
-    }
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return canonical_response(request, result.records)
 
 
 def solve_direct(request: SolveRequest) -> bytes:
@@ -215,10 +126,4 @@ def solve_direct(request: SolveRequest) -> bytes:
     the same request — the service may change *where* a request computes,
     never *what* it answers.
     """
-    point = request_point(request)
-    return render_response(request, execute_point(point))
-
-
-def request_signature(request: SolveRequest) -> str:
-    """Canonical identity of a request (its point's signature)."""
-    return point_signature(request_point(request))
+    return render_response(request, execute_point(request_point(request)))

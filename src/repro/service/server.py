@@ -32,8 +32,8 @@ from typing import Any
 
 from ..backends import ResultCache
 from ..datasets import SCENARIOS, configure_instance_cache
+from ..registry import iter_algorithms
 from .api import (
-    ALGORITHMS,
     ServiceError,
     parse_solve_request,
     render_response,
@@ -95,7 +95,10 @@ class SolverService:
             if path == "/healthz":
                 return 200, _JSON, _dumps({"status": "ok"})
             if path == "/algorithms":
-                return 200, _JSON, _dumps(dict(sorted(ALGORITHMS.items())))
+                listing = {
+                    spec.name: spec.listing_payload() for spec in iter_algorithms()
+                }
+                return 200, _JSON, _dumps(listing)
             if path == "/scenarios":
                 listing = {
                     name: {

@@ -162,3 +162,53 @@ class TestCliBackends:
         payload = json.loads(capsys.readouterr().out)
         assert exit_code == 0
         assert all("peak_sample_words" in item["metrics"] for item in payload)
+
+
+class TestCliRegistryCommands:
+    def test_algorithms_table(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "matching" in out and "2-approximation" in out
+        assert "setcover" in out and "fig1-set-cover-f" in out
+
+    def test_algorithms_json_matches_registry(self, capsys):
+        from repro.registry import iter_algorithms
+
+        assert main(["algorithms", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {spec.name for spec in iter_algorithms()}
+        assert payload["matching"]["experiment"] == "fig1-matching"
+
+    def test_solve_outputs_canonical_response(self, capsys):
+        import repro
+
+        golden = repro.solve("mis", params={"n": 36, "c": 0.35}, seed=5)
+        assert main(["solve", "mis", "-p", "n=36", "-p", "c=0.35", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.encode() == golden.canonical_json() + b"\n"
+
+    def test_solve_pretty_round_trips(self, capsys):
+        assert main(["solve", "mis", "-p", "n=36", "-p", "c=0.35", "--pretty"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig1-mis"
+        assert payload["records"][0]["valid"] is True
+
+    def test_solve_params_json_object(self, capsys):
+        argv = ["solve", "mis", "--params-json", '{"n": 36, "c": 0.35}', "--seed", "5"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"] == {"n": 36, "c": 0.35}
+
+    def test_solve_rejects_unknown_algorithm(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "simplex"])
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_solve_rejects_unknown_param(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "mis", "-p", "bogus=1"])
+        assert "accepted" in capsys.readouterr().err
+
+    def test_solve_rejects_malformed_param(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "mis", "-p", "not-a-pair"])

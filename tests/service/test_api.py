@@ -39,6 +39,16 @@ class TestResolveAlgorithm:
             resolve_algorithm("simplex")
         assert err.value.status == 400
 
+    def test_unknown_algorithm_error_lists_each_name_once(self):
+        # Regression: the old message concatenated the two dispatch
+        # surfaces' name lists; the registry lists every accepted name
+        # (canonical or alias) exactly once, sorted.
+        with pytest.raises(ServiceError) as err:
+            resolve_algorithm("simplex")
+        message = str(err.value)
+        assert message.count("'fig1-matching'") == 1
+        assert message.count("'fig1-mis'") == 1
+
 
 class TestParseSolveRequest:
     def test_accepts_bytes_str_and_mapping(self):
@@ -65,6 +75,8 @@ class TestParseSolveRequest:
             {"algorithm": "mis", "trials": 0},
             {"algorithm": "mis", "trials": 1.5},
             {"algorithm": "mis", "params": [1]},
+            {"algorithm": "mis", "params": []},
+            {"algorithm": "mis", "params": False},
             {"algorithm": "mis", "params": {"not_a_param": 1}},
             {"algorithm": "mis", "bogus_field": 1},
             {"algorithm": "mis", "scenario": ""},

@@ -133,10 +133,20 @@ class TestAuxiliaryEndpoints:
         status, _, body = _request(server.port, "GET", "/healthz")
         assert (status, json.loads(body)) == (200, {"status": "ok"})
 
-    def test_algorithms_listing(self, server):
+    def test_algorithms_listing_comes_from_the_registry(self, server):
+        from repro.registry import iter_algorithms
+
         status, _, body = _request(server.port, "GET", "/algorithms")
+        listing = json.loads(body)
         assert status == 200
-        assert json.loads(body)["matching"] == "fig1-matching"
+        assert listing["matching"]["experiment"] == "fig1-matching"
+        assert listing["matching"]["kind"] == "graph"
+        assert "fig1-matching" in listing["matching"]["aliases"]
+        assert "mu" in listing["matching"]["params"]
+        # The route is generated from the registry: same names, same params.
+        for spec in iter_algorithms():
+            assert set(listing[spec.name]["params"]) == set(spec.params)
+            assert listing[spec.name]["guarantee"] == spec.guarantee
 
     def test_scenarios_listing(self, server):
         status, _, body = _request(server.port, "GET", "/scenarios")
