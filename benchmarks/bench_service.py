@@ -16,12 +16,24 @@ Every response is checked byte-for-byte against ``solve_direct`` — the
 service's core guarantee — and the script exits non-zero on any mismatch,
 or (in full mode) when batching fails to beat unbatched serving.
 
+``--trace-bench`` switches to the trace-driven SLO benchmark (the
+``bench_service`` CI mode): one seeded bursty on/off trace (see
+``repro.loadgen``) replayed against an *adaptive* service and against the
+*fixed-batch* baseline — same initial batch window, feedback disabled.
+Both replays verify byte-identity against ``solve_direct``, both reports
+are appended to the ``BENCH_service.json`` trajectory, and the run fails
+when the adaptive batcher does not beat the fixed baseline on p99, when
+any 5xx/transport error appears, or when adaptive p99 regressed more than
+``--gate-regression`` against the previous trajectory record.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py                  # full bench
     PYTHONPATH=src python benchmarks/bench_service.py --smoke          # CI check
     PYTHONPATH=src python benchmarks/bench_service.py --smoke \\
         --url http://127.0.0.1:8765 --scenario file:social-small.npz   # live server
+    PYTHONPATH=src python benchmarks/bench_service.py --trace-bench \\
+        --duration 10 --output BENCH_service.json                      # SLO trajectory
 """
 
 from __future__ import annotations
@@ -137,6 +149,65 @@ def time_direct_loop(bodies: list[dict]) -> float:
     return time.perf_counter() - start
 
 
+def trace_bench(args: argparse.Namespace) -> int:
+    """Adaptive vs fixed-batch under the bursty reference trace (CI mode)."""
+    from repro.loadgen import ReplayConfig, default_bodies, onoff_trace, run_replay
+    from repro.loadgen.bench import append_history, gate, load_history
+
+    bodies = default_bodies(algorithm=args.algorithm, n=args.n, distinct=args.distinct)
+    trace = onoff_trace(
+        on_rate=args.rate,
+        duration=args.duration,
+        bodies=bodies,
+        on_seconds=0.5,
+        off_seconds=0.5,
+        seed=args.seed,
+    )
+    config = ReplayConfig(connections=16, verify=True)
+    # Same workload, same initial batch window; the only difference is the
+    # feedback loop.  The wide fixed window is the configuration a fixed
+    # batcher needs to survive the bursts -- and the idle tax the adaptive
+    # one is expected to shed.
+    common = dict(backend="batch", max_batch=args.max_batch, batch_wait_ms=25.0)
+    fixed = run_replay(trace, config=config, adaptive=False, **common)
+    adaptive = run_replay(
+        trace, config=config, adaptive=True, target_p99_ms=30.0, **common
+    )
+
+    history = load_history(args.output) if args.output else None
+    for label, report in (("bursty-fixed", fixed), ("bursty-adaptive", adaptive)):
+        print(f"--- {label} ---")
+        print(report.summary())
+        if args.output:
+            append_history(args.output, report, label=label)
+    if args.output:
+        print(f"trajectory: appended 2 records to {args.output}")
+
+    failures = gate(adaptive, fail_on_5xx=True)
+    failures += gate(fixed, fail_on_5xx=True)
+    fixed_p99 = fixed.percentile_ms(99.0)
+    adaptive_p99 = adaptive.percentile_ms(99.0)
+    print(
+        f"p99: fixed {fixed_p99:.1f} ms vs adaptive {adaptive_p99:.1f} ms "
+        f"({fixed_p99 / adaptive_p99 if adaptive_p99 else float('inf'):.2f}x)"
+    )
+    if adaptive_p99 >= fixed_p99:
+        failures.append(
+            f"adaptive batching did not beat the fixed baseline on p99 "
+            f"({adaptive_p99:.1f} >= {fixed_p99:.1f} ms)"
+        )
+    if args.gate_regression is not None and history is not None:
+        failures += gate(
+            adaptive,
+            history=history,
+            label="bursty-adaptive",
+            max_regression=args.gate_regression,
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=96, help="burst size (default: 96)")
@@ -163,7 +234,36 @@ def main(argv: list[str] | None = None) -> int:
         help="small burst, golden byte-identity check only (CI mode)",
     )
     parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--trace-bench",
+        action="store_true",
+        help="bursty-trace SLO benchmark: adaptive vs fixed batching, "
+        "BENCH_service.json trajectory, p99 gates",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=80.0, help="trace-bench: ON-window rate (default: 80)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="trace-bench: trace seconds (default: 10)"
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="trace-bench: trace seed")
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="trace-bench: BENCH_service.json trajectory file to append to",
+    )
+    parser.add_argument(
+        "--gate-regression",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="trace-bench: fail when adaptive p99 regresses more than FRAC "
+        "vs the previous trajectory record",
+    )
     args = parser.parse_args(argv)
+    if args.trace_bench:
+        return trace_bench(args)
     if args.smoke:
         args.requests = min(args.requests, 24)
     if args.requests < 1 or args.distinct < 1:

@@ -45,7 +45,18 @@ Installed as ``python -m repro``.  Subcommands:
     Run the batched solver service (see ``docs/SERVICE.md``): an asyncio
     HTTP server that micro-batches concurrent JSON solve requests through
     the sweep backends and answers byte-identically to a direct library
-    call with the same (scenario, algorithm, params, seed).
+    call with the same (scenario, algorithm, params, seed).  Batching is
+    latency-aware by default (``--target-p99-ms``), overload is shed with
+    429s (``--max-queue``), and per-request deadlines return 504s
+    (``--deadline-ms``).
+
+``loadtest``
+    Replay a seeded request trace (Poisson / bursty on-off / ramp / a
+    recorded JSONL file) against a live or in-process service over
+    keep-alive connections and report p50/p99/p999 latency, throughput,
+    shed (429) and error counts, and server batch occupancy.  Optionally
+    appends the report to the ``BENCH_service.json`` trajectory and gates
+    absolute p99, 5xx counts, and p99 regression vs the previous run.
 
 The experiment subcommands accept ``--scenario NAME`` / ``--scenario
 file:PATH`` to run on a named workload or an ingested dataset instead of
@@ -375,6 +386,165 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="capacity of the materialized file-scenario LRU (default: 64)",
     )
+    srv.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="disable latency-aware adaptive batching (fixed max-batch/wait)",
+    )
+    srv.add_argument(
+        "--target-p99-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="latency SLO the adaptive batcher steers under (default: 500)",
+    )
+    srv.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="shed requests with 429 beyond this queue depth; 0 disables "
+        "(default: 1024)",
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline -> 504 (default: none; clients "
+        "may tighten via X-Repro-Deadline-Ms)",
+    )
+    srv.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to receive one full request / keep-alive idle limit "
+        "(default: 30)",
+    )
+
+    load = sub.add_parser(
+        "loadtest",
+        help="replay a request trace against the service and report SLO percentiles",
+        description=(
+            "Replay a seeded, deterministic request trace against a live "
+            "(--url) or in-process repro service over keep-alive connections; "
+            "report p50/p99/p999 latency, throughput, 429/5xx counts, and "
+            "server batch occupancy (see docs/SERVICE.md)."
+        ),
+    )
+    load.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running service instead of an in-process one",
+    )
+    trace_group = load.add_argument_group("trace")
+    trace_group.add_argument(
+        "--trace",
+        choices=["poisson", "bursty", "ramp"],
+        default="bursty",
+        help="synthetic arrival process (default: bursty on/off)",
+    )
+    trace_group.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="replay a recorded JSONL trace instead of a synthetic one",
+    )
+    trace_group.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="save the generated trace as JSONL before replaying",
+    )
+    trace_group.add_argument(
+        "--rate", type=float, default=80.0, help="arrival rate req/s; bursty: ON-window rate (default: 80)"
+    )
+    trace_group.add_argument(
+        "--end-rate", type=float, default=None, help="ramp: final rate (default: 4x --rate)"
+    )
+    trace_group.add_argument(
+        "--duration", type=float, default=10.0, help="trace length in seconds (default: 10)"
+    )
+    trace_group.add_argument(
+        "--on-seconds", type=float, default=0.5, help="bursty: ON window length (default: 0.5)"
+    )
+    trace_group.add_argument(
+        "--off-seconds", type=float, default=0.5, help="bursty: OFF window length (default: 0.5)"
+    )
+    trace_group.add_argument("--seed", type=int, default=2018)
+    trace_group.add_argument(
+        "--rate-scale",
+        type=float,
+        default=1.0,
+        help="replay speed multiplier (2.0 = twice as fast; default: 1.0)",
+    )
+    trace_group.add_argument(
+        "--max-requests", type=_positive_int, default=None, help="truncate the trace"
+    )
+    workload = load.add_argument_group("request mix")
+    workload.add_argument("--algorithm", default="mis")
+    workload.add_argument("--n", type=int, default=60, help="generator workload size (default: 60)")
+    workload.add_argument(
+        "--distinct", type=_positive_int, default=8, help="distinct seeds in the mix (default: 8)"
+    )
+    _add_scenario_option(load)
+    client = load.add_argument_group("client")
+    client.add_argument(
+        "--connections", type=_positive_int, default=16, help="keep-alive connection pool (default: 16)"
+    )
+    client.add_argument(
+        "--client-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="send X-Repro-Deadline-Ms on every request",
+    )
+    client.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every 200 body byte-for-byte against the direct library call",
+    )
+    server_group = load.add_argument_group(
+        "in-process server (ignored with --url)"
+    )
+    server_group.add_argument("--backend", choices=sorted(BACKENDS), default="batch")
+    server_group.add_argument("--jobs", type=_positive_int, default=None, metavar="N")
+    server_group.add_argument("--cache-dir", type=_cache_dir, default=None, metavar="PATH")
+    server_group.add_argument("--max-batch", type=_positive_int, default=32, metavar="N")
+    server_group.add_argument("--batch-wait-ms", type=float, default=5.0, metavar="MS")
+    server_group.add_argument("--no-adaptive", action="store_true")
+    server_group.add_argument("--target-p99-ms", type=float, default=500.0, metavar="MS")
+    server_group.add_argument("--max-queue", type=int, default=1024, metavar="N")
+    server_group.add_argument("--deadline-ms", type=float, default=None, metavar="MS")
+    gates = load.add_argument_group("report & gates")
+    gates.add_argument("--json", action="store_true", help="emit the full JSON report")
+    gates.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="append the report to this BENCH_service.json trajectory file",
+    )
+    gates.add_argument(
+        "--label",
+        default="default",
+        help="trajectory label; regression gating compares same-label runs",
+    )
+    gates.add_argument(
+        "--gate-p99-ms", type=float, default=None, metavar="MS",
+        help="exit non-zero when p99 exceeds this bound",
+    )
+    gates.add_argument(
+        "--gate-regression",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit non-zero when p99 regresses more than FRAC (e.g. 0.5 = +50%%) "
+        "vs the previous same-label record in --output",
+    )
+    gates.add_argument(
+        "--fail-on-5xx", action="store_true", help="exit non-zero on any 5xx/transport error"
+    )
 
     data = sub.add_parser("data", help="dataset tools: convert, inspect, list scenarios")
     data_sub = data.add_subparsers(dest="data_command", required=True)
@@ -685,7 +855,104 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_wait_ms=args.batch_wait_ms,
         instance_cache=args.instance_cache,
+        adaptive=not args.no_adaptive,
+        target_p99_ms=args.target_p99_ms,
+        max_queue=args.max_queue,
+        deadline_ms=args.deadline_ms,
+        read_timeout=args.read_timeout,
     )
+
+
+def _build_loadtest_trace(args: argparse.Namespace):
+    from . import loadgen
+
+    if args.trace_file:
+        return loadgen.load_trace(args.trace_file)
+    bodies = loadgen.default_bodies(
+        algorithm=args.algorithm,
+        n=args.n,
+        distinct=args.distinct,
+        scenario=args.scenario,
+    )
+    if args.trace == "poisson":
+        return loadgen.poisson_trace(
+            rate=args.rate, duration=args.duration, bodies=bodies, seed=args.seed
+        )
+    if args.trace == "ramp":
+        end_rate = args.end_rate if args.end_rate is not None else args.rate * 4.0
+        return loadgen.ramp_trace(
+            start_rate=args.rate,
+            end_rate=end_rate,
+            duration=args.duration,
+            bodies=bodies,
+            seed=args.seed,
+        )
+    return loadgen.onoff_trace(
+        on_rate=args.rate,
+        duration=args.duration,
+        bodies=bodies,
+        on_seconds=args.on_seconds,
+        off_seconds=args.off_seconds,
+        seed=args.seed,
+    )
+
+
+def _run_loadtest(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from . import loadgen
+    from .loadgen.bench import append_history, gate, load_history
+
+    try:
+        trace = _build_loadtest_trace(args)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+    if not len(trace):
+        parser.error("the trace is empty; raise --rate or --duration")
+    if args.record:
+        loadgen.save_trace(trace, args.record)
+        print(f"recorded {len(trace)} requests to {args.record}")
+
+    config = loadgen.ReplayConfig(
+        rate_scale=args.rate_scale,
+        max_requests=args.max_requests,
+        connections=args.connections,
+        verify=args.verify,
+        deadline_ms=args.client_deadline_ms,
+    )
+    service_kwargs = {}
+    if not args.url:
+        service_kwargs = dict(
+            backend=args.backend,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            max_batch=args.max_batch,
+            batch_wait_ms=args.batch_wait_ms,
+            adaptive=not args.no_adaptive,
+            target_p99_ms=args.target_p99_ms,
+            max_queue=args.max_queue,
+            deadline_ms=args.deadline_ms,
+        )
+    report = loadgen.run_replay(trace, url=args.url, config=config, **service_kwargs)
+
+    history = load_history(args.output) if args.output else None
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    if args.output:
+        append_history(args.output, report, label=args.label)
+        print(f"trajectory: appended to {args.output} (label {args.label!r})")
+
+    failures = gate(
+        report,
+        max_p99_ms=args.gate_p99_ms,
+        fail_on_5xx=args.fail_on_5xx,
+        history=history,
+        label=args.label,
+        max_regression=args.gate_regression,
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -722,6 +989,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("bench measures wall-clock; results must not be cached")
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args, parser)
     if args.command == "solve":
         return _run_solve(args, parser)
     if args.command == "figure1":

@@ -1,0 +1,50 @@
+"""Trace-driven load generation for the solver service (``repro loadtest``).
+
+A *trace* is a deterministic request schedule: a list of (arrival offset,
+solve-request body) pairs.  Traces come from three synthetic arrival
+processes — Poisson (steady), on/off (bursty), ramp (rising rate) — or
+from a recorded JSONL file, all seeded and byte-identical across replays
+of the same seed.  A :class:`~repro.loadgen.traces.ReplayConfig` rescales
+a trace's rate (Cydonia's ``replayRate`` idiom: scale 2.0 replays twice
+as fast) without regenerating it.
+
+The :class:`~repro.loadgen.runner.Runner` replays a trace against a live
+``repro serve`` endpoint over persistent keep-alive connections, firing
+each request at its scheduled offset (open-loop, so a slow server faces
+the schedule, not a politely waiting client), and folds every outcome
+into a :class:`~repro.loadgen.report.SampleReport`: p50/p99/p999 latency
+(via the same :class:`~repro.service.histogram.LatencyHistogram` the
+server's ``/metrics`` uses), throughput, status/error/429 counts, and the
+server-side batch-occupancy delta.
+
+See ``docs/SERVICE.md`` for the ``repro loadtest`` walkthrough.
+"""
+
+from .report import SampleReport
+from .runner import Runner, run_replay
+from .traces import (
+    ReplayConfig,
+    RequestTrace,
+    TraceRequest,
+    default_bodies,
+    load_trace,
+    onoff_trace,
+    poisson_trace,
+    ramp_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ReplayConfig",
+    "RequestTrace",
+    "Runner",
+    "SampleReport",
+    "TraceRequest",
+    "default_bodies",
+    "load_trace",
+    "onoff_trace",
+    "poisson_trace",
+    "ramp_trace",
+    "run_replay",
+    "save_trace",
+]

@@ -1,0 +1,97 @@
+"""``BENCH_service.json``: the service's perf trajectory, and its gates.
+
+Kernel benchmarking keeps a single snapshot (``BENCH_kernels.json``); the
+serving SLO needs a *trajectory* — p99 is only meaningful against where it
+was last PR.  The file holds::
+
+    {"schema_version": 1,
+     "history": [ {..SampleReport.to_dict().., "label": "...", "recorded": N}, ... ]}
+
+Each load-test run appends one record; CI uploads the file as an artifact
+and :func:`gate` fails the build when the newest record breaches an
+absolute p99 bound, reports any 5xx, or regresses p99 against the previous
+comparable record (same label) by more than the allowed fraction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .report import SampleReport
+
+__all__ = ["append_history", "gate", "load_history"]
+
+_SCHEMA = 1
+
+
+def load_history(path: str | Path) -> dict[str, Any]:
+    """Read a trajectory file; a missing file is an empty history."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema_version": _SCHEMA, "history": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "history" not in payload:
+        raise ValueError(f"{path} is not a BENCH_service trajectory file")
+    return payload
+
+
+def append_history(
+    path: str | Path, report: SampleReport, *, label: str = "default"
+) -> dict[str, Any]:
+    """Append one report to the trajectory and rewrite the file atomically."""
+    payload = load_history(path)
+    record = report.to_dict()
+    record["label"] = label
+    record["recorded"] = len(payload["history"])
+    payload["history"].append(record)
+    payload["schema_version"] = _SCHEMA
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return record
+
+
+def gate(
+    report: SampleReport,
+    *,
+    max_p99_ms: float | None = None,
+    fail_on_5xx: bool = False,
+    history: dict[str, Any] | None = None,
+    label: str = "default",
+    max_regression: float | None = None,
+) -> list[str]:
+    """Check a report against the SLO gates; returns failure messages."""
+    failures: list[str] = []
+    p99 = report.percentile_ms(99.0)
+    if max_p99_ms is not None and p99 > max_p99_ms:
+        failures.append(f"p99 {p99:.1f} ms exceeds the {max_p99_ms:.1f} ms bound")
+    if fail_on_5xx and (report.server_errors or report.transport_errors):
+        failures.append(
+            f"{report.server_errors} server 5xx and "
+            f"{report.transport_errors} transport errors (0 allowed)"
+        )
+    if report.golden_mismatches:
+        failures.append(
+            f"{report.golden_mismatches} responses differ from direct library calls"
+        )
+    if max_regression is not None and history is not None:
+        previous = [
+            record
+            for record in history.get("history", [])
+            if record.get("label") == label
+        ]
+        if previous:
+            baseline = previous[-1]["latency_ms"]["p99"]
+            if baseline > 0 and p99 > baseline * (1.0 + max_regression):
+                failures.append(
+                    f"p99 regressed {p99 / baseline:.2f}x vs previous "
+                    f"{baseline:.1f} ms (allowed {1.0 + max_regression:.2f}x)"
+                )
+    return failures

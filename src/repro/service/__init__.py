@@ -26,12 +26,16 @@ from .api import (
     resolve_algorithm,
     solve_direct,
 )
+from .adaptive import AdaptiveBatchPolicy
 from .batcher import MicroBatcher
+from .histogram import LatencyHistogram
 from .metrics import ServiceMetrics
 from .server import ServiceHandle, SolverService, serve, start_in_background
 
 __all__ = [
     "ALGORITHMS",
+    "AdaptiveBatchPolicy",
+    "LatencyHistogram",
     "MicroBatcher",
     "ServiceError",
     "ServiceHandle",

@@ -1,0 +1,148 @@
+"""Latency-aware adaptive micro-batch control.
+
+The fixed ``(max_batch, max_wait_ms)`` batcher has a built-in tension: a
+long wait window amortises solver overhead under load, but taxes every
+lone request with the full window; a short window keeps idle latency low
+but dissolves batches exactly when saturation needs them.  The
+:class:`AdaptiveBatchPolicy` resolves it with two feedback rules evaluated
+once per observation window:
+
+* **Latency guard** — when the observed request p99 drifts above
+  ``target_p99`` the wait window *shrinks* multiplicatively (down to
+  ``min_wait``): a batch that cannot fill quickly stops waiting for
+  stragglers, cutting queueing delay at its source.
+* **Saturation growth** — when p99 is comfortably below target *and* the
+  queue is persistently deeper than the current batch size, the batch size
+  and wait window *grow* (up to their caps): the service is saturated and
+  bigger batches raise throughput without endangering the SLO.
+
+Both rules are deterministic functions of the observations, so the policy
+is unit-testable with synthetic latency streams and a fake clock — no real
+timers anywhere.  The batcher feeds it one observation per completed
+request (queueing + execution latency, queue depth at completion) and
+reads ``batch_size`` / ``wait_seconds`` when collecting the next batch.
+"""
+
+from __future__ import annotations
+
+from .histogram import LatencyHistogram
+
+__all__ = ["AdaptiveBatchPolicy"]
+
+
+class AdaptiveBatchPolicy:
+    """Feedback controller for the micro-batcher's (batch size, wait window).
+
+    Parameters
+    ----------
+    target_p99:
+        The latency SLO in seconds; the controller steers the observed
+        request p99 below it.
+    min_batch / max_batch:
+        Bounds for the adaptive batch size; starts at ``max_batch``.
+    min_wait / max_wait:
+        Bounds for the adaptive wait window (seconds); starts at
+        ``initial_wait`` (default ``max_wait``).
+    window:
+        Observations per control decision.  Small windows react faster;
+        large windows smooth bursty noise.
+    shrink / grow:
+        Multiplicative step factors for the two feedback rules.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_p99: float = 0.5,
+        min_batch: int = 1,
+        max_batch: int = 128,
+        initial_batch: int | None = None,
+        min_wait: float = 0.0,
+        max_wait: float = 0.05,
+        initial_wait: float | None = None,
+        window: int = 32,
+        shrink: float = 0.5,
+        grow: float = 1.5,
+    ) -> None:
+        if target_p99 <= 0:
+            raise ValueError("target_p99 must be positive")
+        if not 1 <= min_batch <= max_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        if not 0.0 <= min_wait <= max_wait:
+            raise ValueError("need 0 <= min_wait <= max_wait")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < shrink < 1.0 or grow <= 1.0:
+            raise ValueError("need 0 < shrink < 1 and grow > 1")
+        self.target_p99 = float(target_p99)
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.min_wait = float(min_wait)
+        self.max_wait = float(max_wait)
+        self.window = int(window)
+        self.shrink = float(shrink)
+        self.grow = float(grow)
+
+        self.batch_size = (
+            self.max_batch if initial_batch is None
+            else min(max(int(initial_batch), self.min_batch), self.max_batch)
+        )
+        self.wait_seconds = (
+            self.max_wait if initial_wait is None
+            else min(max(float(initial_wait), self.min_wait), self.max_wait)
+        )
+        self.adjustments = 0  #: control decisions taken (for /metrics)
+        self._window_latency = LatencyHistogram()
+        self._depth_sum = 0
+        self._observations = 0
+
+    # ------------------------------------------------------------------ #
+    # Feedback
+    # ------------------------------------------------------------------ #
+    def observe(self, latency_seconds: float, queue_depth: int) -> None:
+        """Feed one completed request's latency and the queue depth behind it."""
+        self._window_latency.record(max(0.0, latency_seconds))
+        self._depth_sum += max(0, int(queue_depth))
+        self._observations += 1
+        if self._observations >= self.window:
+            self._adjust()
+
+    def _adjust(self) -> None:
+        p99 = self._window_latency.percentile(99.0)
+        mean_depth = self._depth_sum / self._observations
+        if p99 > self.target_p99:
+            # SLO at risk: stop waiting for stragglers.
+            self.wait_seconds = max(self.min_wait, self.wait_seconds * self.shrink)
+            if p99 > 2.0 * self.target_p99:
+                # Badly over: the batch execution time itself is the tax.
+                self.batch_size = max(self.min_batch, self.batch_size // 2)
+        elif mean_depth > self.batch_size and p99 < 0.5 * self.target_p99:
+            # Saturated but healthy: bigger batches buy throughput.
+            self.batch_size = min(
+                self.max_batch, max(self.batch_size + 1, int(self.batch_size * self.grow))
+            )
+            self.wait_seconds = min(
+                self.max_wait, max(self.wait_seconds * self.grow, 1e-4)
+            )
+        else:
+            # Healthy and keeping up: drift the window back up gently so a
+            # past shrink does not pin batching off forever.
+            self.wait_seconds = min(
+                self.max_wait, max(self.wait_seconds, 1e-4) * (1.0 + (self.grow - 1.0) / 4)
+            )
+        self.adjustments += 1
+        self._window_latency = LatencyHistogram()
+        self._depth_sum = 0
+        self._observations = 0
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, float]:
+        """JSON-ready controller state for ``/metrics``."""
+        return {
+            "target_p99": self.target_p99,
+            "batch_size": self.batch_size,
+            "wait_seconds": self.wait_seconds,
+            "adjustments": self.adjustments,
+        }

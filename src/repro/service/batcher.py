@@ -1,8 +1,8 @@
 """Micro-batching: coalesce concurrent solve requests into one sweep.
 
 Concurrent requests land on an asyncio queue; a single dispatcher task
-drains it into batches — a batch closes when it reaches ``max_batch``
-points or ``max_wait_ms`` after its first point arrived — and executes
+drains it into batches — a batch closes when it reaches the batch-size
+limit or the wait window after its first point arrived — and executes
 each batch through :func:`~repro.backends.run_sweep` in a worker thread.
 The whole frontier therefore reaches the backend in one call, exactly like
 an experiment sweep: the ``batch`` backend memoises duplicate points
@@ -14,6 +14,22 @@ Because every backend is required to produce results identical to
 ``execute_point``, batching changes *where and when* a request computes,
 never *what* it answers — the byte-identity guarantee of
 :func:`repro.service.api.solve_direct` survives batching untouched.
+
+Production hardening (see ``docs/SERVICE.md``):
+
+* **Adaptive sizing** — pass an :class:`~repro.service.adaptive.
+  AdaptiveBatchPolicy` and the batch size / wait window become feedback-
+  controlled: the window shrinks when request p99 drifts above target and
+  batches grow under saturation.  Without a policy the configured
+  ``max_batch`` / ``max_wait_ms`` are fixed, as before.
+* **Fault isolation** — when a batch's sweep raises, the batch is retried
+  point-by-point so one poisoned request fails alone instead of failing
+  every stranger sharing its batch.
+* **Callback isolation** — an ``on_batch`` observer that raises is
+  swallowed; instrumentation must never kill the dispatch loop.
+* **Deterministic testing** — the ``clock`` hook replaces the loop clock
+  in every wait-window computation, so tests drive the window with a fake
+  clock instead of real sleeps.
 """
 
 from __future__ import annotations
@@ -22,6 +38,7 @@ import asyncio
 from typing import Callable, Sequence
 
 from ..backends import Backend, PointResult, ResultCache, SweepPoint, run_sweep
+from .adaptive import AdaptiveBatchPolicy
 
 __all__ = ["MicroBatcher"]
 
@@ -38,6 +55,8 @@ class MicroBatcher:
         max_batch: int = 32,
         max_wait_ms: float = 5.0,
         on_batch: Callable[[int], None] | None = None,
+        policy: AdaptiveBatchPolicy | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -49,10 +68,48 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.on_batch = on_batch
-        self._queue: asyncio.Queue[tuple[SweepPoint, asyncio.Future[PointResult]]] = (
+        self.policy = policy
+        self._clock = clock
+        self._queue: asyncio.Queue[tuple[SweepPoint, asyncio.Future[PointResult], float]] = (
             asyncio.Queue()
         )
         self._dispatcher: asyncio.Task[None] | None = None
+        self._inflight = 0
+        self._closing = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_event_loop().time()
+
+    def queue_depth(self) -> int:
+        """Requests waiting or executing right now (admission-control signal)."""
+        return self._queue.qsize() + self._inflight
+
+    def limits(self) -> tuple[int, float]:
+        """The (batch size, wait seconds) the next batch will be collected with."""
+        if self.policy is not None:
+            return (
+                max(1, min(self.policy.batch_size, self.max_batch)),
+                self.policy.wait_seconds,
+            )
+        return self.max_batch, self.max_wait
+
+    def stats(self) -> dict[str, object]:
+        """JSON-ready batcher state for ``/metrics``."""
+        size, wait = self.limits()
+        payload: dict[str, object] = {
+            "queue_depth": self.queue_depth(),
+            "batch_size_limit": size,
+            "wait_seconds": wait,
+            "adaptive": self.policy is not None,
+        }
+        if self.policy is not None:
+            payload["policy"] = self.policy.snapshot()
+        return payload
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -60,12 +117,14 @@ class MicroBatcher:
     def start(self) -> None:
         """Start the dispatcher task on the running event loop."""
         if self._dispatcher is None or self._dispatcher.done():
+            self._closing = False
             self._dispatcher = asyncio.get_running_loop().create_task(
                 self._dispatch_loop(), name="repro-service-batcher"
             )
 
     async def aclose(self) -> None:
         """Cancel the dispatcher and fail any undelivered submissions."""
+        self._closing = True
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -74,7 +133,7 @@ class MicroBatcher:
                 pass
             self._dispatcher = None
         while not self._queue.empty():
-            _, future = self._queue.get_nowait()
+            _, future, _ = self._queue.get_nowait()
             if not future.done():
                 future.set_exception(RuntimeError("service shut down"))
 
@@ -83,9 +142,11 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     async def submit(self, point: SweepPoint) -> PointResult:
         """Queue one point and await its result."""
+        if self._closing:
+            raise RuntimeError("service shut down")
         self.start()
         future: asyncio.Future[PointResult] = asyncio.get_running_loop().create_future()
-        await self._queue.put((point, future))
+        await self._queue.put((point, future, self._now()))
         return await future
 
     # ------------------------------------------------------------------ #
@@ -93,14 +154,14 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     async def _collect_batch(
         self,
-    ) -> list[tuple[SweepPoint, asyncio.Future[PointResult]]]:
+    ) -> list[tuple[SweepPoint, asyncio.Future[PointResult], float]]:
         """Block for the first point, then drain until size or time is up."""
-        loop = asyncio.get_running_loop()
         first = await self._queue.get()
         batch = [first]
-        deadline = loop.time() + self.max_wait
-        while len(batch) < self.max_batch:
-            remaining = deadline - loop.time()
+        size_limit, wait = self.limits()
+        deadline = self._now() + wait
+        while len(batch) < size_limit:
+            remaining = deadline - self._now()
             if remaining <= 0:
                 # Past the deadline: take only what is already queued.
                 try:
@@ -114,30 +175,60 @@ class MicroBatcher:
                     break
         return batch
 
-    def _execute(self, points: Sequence[SweepPoint]) -> list[PointResult]:
-        return run_sweep(
-            points, backend=self.backend, jobs=self.jobs, cache=self.cache
-        )
+    def _execute(self, points: Sequence[SweepPoint]) -> list[PointResult | BaseException]:
+        """Run one batch; on failure, isolate it to the offending point(s).
+
+        A request must never fail because a *stranger* sharing its batch
+        raised: when the whole-batch sweep raises, each point re-runs in
+        its own single-point sweep and only the points that still raise
+        carry an exception back to their callers.
+        """
+        try:
+            return list(
+                run_sweep(points, backend=self.backend, jobs=self.jobs, cache=self.cache)
+            )
+        except BaseException:  # noqa: BLE001 - isolated per point below
+            results: list[PointResult | BaseException] = []
+            for point in points:
+                try:
+                    [result] = run_sweep(
+                        [point], backend=self.backend, jobs=self.jobs, cache=self.cache
+                    )
+                    results.append(result)
+                except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                    results.append(exc)
+            return results
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             batch = await self._collect_batch()
+            self._inflight = len(batch)
             if self.on_batch is not None:
-                self.on_batch(len(batch))
-            points = [point for point, _ in batch]
+                try:
+                    self.on_batch(len(batch))
+                except Exception:  # noqa: BLE001 - observers must not kill dispatch
+                    pass
+            points = [point for point, _, _ in batch]
             try:
                 results = await loop.run_in_executor(None, self._execute, points)
             except BaseException as exc:  # noqa: BLE001 - forwarded to callers
                 if isinstance(exc, asyncio.CancelledError):
-                    for _, future in batch:
+                    for _, future, _ in batch:
                         if not future.done():
                             future.set_exception(RuntimeError("service shut down"))
+                    self._inflight = 0
                     raise
-                for _, future in batch:
-                    if not future.done():
-                        future.set_exception(exc)
-                continue
-            for (_, future), result in zip(batch, results):
-                if not future.done():
+                results = [exc] * len(batch)
+            finished = self._now()
+            depth = self._queue.qsize()
+            for (_, future, enqueued), result in zip(batch, results):
+                if self.policy is not None:
+                    self.policy.observe(max(0.0, finished - enqueued), depth)
+                if future.done():
+                    continue
+                if isinstance(result, BaseException):
+                    future.set_exception(result)
+                else:
                     future.set_result(result)
+            self._inflight = 0

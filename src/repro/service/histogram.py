@@ -1,0 +1,148 @@
+"""Streaming latency histogram with bounded relative error.
+
+Tail latency (p99, p999) is the serving SLO, and it cannot be recovered
+from the mean/min/max counters the service used to keep — a histogram has
+to observe every sample.  Storing raw samples is out (a load test fires
+hundreds of thousands of requests), so :class:`LatencyHistogram` keeps
+geometric buckets: values land in bucket ``i`` when ``min_value * f**i <=
+v < min_value * f**(i+1)`` with ``f = (1 + error)**2``, and a percentile
+query answers the geometric midpoint of the bucket holding the requested
+order statistic.  The midpoint is within ``sqrt(f) = 1 + error`` of every
+value in the bucket, which gives the estimator its guarantee:
+
+    ``|percentile(q) - exact_q| <= error * exact_q``
+
+for any sample within ``[min_value, max_value]``, where ``exact_q`` is the
+order statistic of rank ``ceil(q/100 * count)`` (the smallest sample with
+at least a ``q`` fraction of the distribution at or below it).  The
+property suite (``tests/property/test_property_loadgen.py``) checks this
+bound against exact NumPy order statistics on random samples.
+
+Memory is ~1–2k integer buckets for microsecond..hour range at 1% error —
+constant per histogram, independent of sample count.  Recording is O(1)
+and allocation-free after the first sample in a bucket.
+
+The class is *not* internally locked: :class:`~repro.service.metrics.
+ServiceMetrics` guards its histograms with its own lock, and the load
+generator merges per-worker histograms after the replay ends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Fixed-relative-error streaming histogram over positive values."""
+
+    __slots__ = ("error", "min_value", "max_value", "_log_factor", "_buckets",
+                 "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        *,
+        error: float = 0.01,
+        min_value: float = 1e-6,
+        max_value: float = 3600.0,
+    ) -> None:
+        if not 0.0 < error < 1.0:
+            raise ValueError("error must be in (0, 1)")
+        if not 0.0 < min_value < max_value:
+            raise ValueError("need 0 < min_value < max_value")
+        self.error = float(error)
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        # Bucket growth factor f = (1+error)^2: the geometric midpoint of a
+        # bucket is then within a (1+error) ratio of both edges.
+        self._log_factor = 2.0 * math.log1p(self.error)
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _index(self, value: float) -> int:
+        clamped = min(max(value, self.min_value), self.max_value)
+        return int(math.log(clamped / self.min_value) / self._log_factor)
+
+    def record(self, value: float) -> None:
+        """Record one sample (seconds); non-finite/negative values rejected."""
+        if not (value >= 0.0 and math.isfinite(value)):
+            raise ValueError(f"latency sample must be finite and >= 0, got {value!r}")
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same bucket geometry) into this one."""
+        if (other.error, other.min_value) != (self.error, self.min_value):
+            raise ValueError("cannot merge histograms with different geometry")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The value at percentile ``q`` in [0, 100], within relative error.
+
+        Returns the geometric midpoint of the bucket containing the sample
+        of rank ``ceil(q/100 * count)`` (rank 1 for q=0).  0.0 on an empty
+        histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= target:
+                midpoint = self.min_value * math.exp((index + 0.5) * self._log_factor)
+                # Exact extremes beat the bucket estimate at the edges.
+                return min(max(midpoint, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches count
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-ready SLO summary: count/mean/min/max and tail percentiles."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "p999": self.percentile(99.9),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean:.6f}, "
+            f"p99={self.percentile(99.0):.6f})"
+        )

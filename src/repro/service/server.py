@@ -28,11 +28,12 @@ import asyncio
 import json
 import threading
 import time
-from typing import Any
+from typing import Any, Mapping
 
 from ..backends import ResultCache
 from ..datasets import SCENARIOS, configure_instance_cache
 from ..registry import iter_algorithms
+from .adaptive import AdaptiveBatchPolicy
 from .api import (
     ServiceError,
     parse_solve_request,
@@ -52,7 +53,30 @@ _JSON = [("Content-Type", "application/json")]
 
 
 class SolverService:
-    """Request handling + batching + metrics for one service instance."""
+    """Request handling + batching + metrics for one service instance.
+
+    Production-hardening knobs (see ``docs/SERVICE.md``):
+
+    ``adaptive`` / ``target_p99_ms``
+        Latency-aware micro-batch control (on by default): the wait window
+        shrinks when the observed request p99 drifts above target, and
+        batches grow under saturation.  ``adaptive=False`` restores the
+        fixed ``(max_batch, batch_wait_ms)`` batcher.
+    ``max_queue``
+        Admission control: when this many requests are already queued or
+        executing, new solves are shed with ``429 Too Many Requests`` and
+        a ``Retry-After`` hint instead of queueing without bound.  ``0``
+        disables shedding.
+    ``deadline_ms``
+        Default per-request deadline; a request still unanswered when it
+        expires gets ``504``.  Clients may tighten (never loosen) it per
+        request via the ``X-Repro-Deadline-Ms`` header.  ``None``/``0``
+        means no deadline.
+    ``read_timeout``
+        Seconds a connection may take to deliver one full request (also
+        the keep-alive idle timeout).  Slow-loris clients are answered
+        with a best-effort ``408`` and dropped.
+    """
 
     def __init__(
         self,
@@ -63,10 +87,32 @@ class SolverService:
         max_batch: int = 32,
         batch_wait_ms: float = 5.0,
         instance_cache: int = 64,
+        adaptive: bool = True,
+        target_p99_ms: float = 500.0,
+        max_queue: int = 1024,
+        deadline_ms: float | None = None,
+        read_timeout: float = 30.0,
     ) -> None:
         self.metrics = ServiceMetrics()
         self.cache = ResultCache(cache_dir) if cache_dir else None
         configure_instance_cache(instance_cache)
+        self.max_queue = max(0, int(max_queue))
+        self.deadline = (
+            float(deadline_ms) / 1000.0 if deadline_ms else None
+        )
+        self.read_timeout = float(read_timeout)
+        policy = None
+        if adaptive:
+            wait = float(batch_wait_ms) / 1000.0
+            policy = AdaptiveBatchPolicy(
+                target_p99=float(target_p99_ms) / 1000.0,
+                min_batch=1,
+                max_batch=int(max_batch),
+                initial_batch=min(8, int(max_batch)),
+                min_wait=0.0,
+                max_wait=max(wait * 4.0, wait),
+                initial_wait=wait,
+            )
         self.batcher = MicroBatcher(
             backend=backend,
             jobs=jobs,
@@ -74,24 +120,28 @@ class SolverService:
             max_batch=max_batch,
             max_wait_ms=batch_wait_ms,
             on_batch=self.metrics.record_batch,
+            policy=policy,
         )
 
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
     async def handle(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, list[tuple[str, str]], bytes]:
         """Dispatch one request; returns ``(status, extra headers, body)``."""
         try:
             if path == "/solve":
                 if method != "POST":
                     raise ServiceError("use POST for /solve", status=405)
-                return await self._solve(body)
+                return await self._solve(body, headers or {})
             if method != "GET":
                 raise ServiceError(f"use GET for {path}", status=405)
             if path == "/metrics":
-                return 200, _JSON, _dumps(self.metrics.snapshot())
+                payload = self.metrics.snapshot()
+                payload["batcher"] = self.batcher.stats()
+                return 200, _JSON, _dumps(payload)
             if path == "/healthz":
                 return 200, _JSON, _dumps({"status": "ok"})
             if path == "/algorithms":
@@ -117,8 +167,39 @@ class SolverService:
             self.metrics.record_error()
             return 500, _JSON, _dumps({"error": f"{type(exc).__name__}: {exc}"})
 
-    async def _solve(self, body: bytes) -> tuple[int, list[tuple[str, str]], bytes]:
+    def _retry_after(self) -> int:
+        """Seconds a shed client should back off: queue depth x recent p50."""
+        p50 = self.metrics.latency.percentile(50.0)
+        estimate = self.batcher.queue_depth() * max(p50, 0.001)
+        return min(30, max(1, round(estimate)))
+
+    def _deadline_for(self, headers: Mapping[str, str]) -> float | None:
+        """Effective deadline: server default, tightened by the client header."""
+        deadline = self.deadline
+        raw = headers.get("x-repro-deadline-ms")
+        if raw is not None:
+            try:
+                requested = float(raw) / 1000.0
+            except ValueError:
+                raise ServiceError("invalid X-Repro-Deadline-Ms header") from None
+            if requested <= 0:
+                raise ServiceError("X-Repro-Deadline-Ms must be positive")
+            deadline = requested if deadline is None else min(deadline, requested)
+        return deadline
+
+    async def _solve(
+        self, body: bytes, headers: Mapping[str, str]
+    ) -> tuple[int, list[tuple[str, str]], bytes]:
         self.metrics.record_request()
+        deadline = self._deadline_for(headers)
+        # Admission control *before* any work: a shed request must be cheap,
+        # that is the whole point of shedding.
+        if self.max_queue and self.batcher.queue_depth() >= self.max_queue:
+            self.metrics.record_rejected()
+            retry = [("Retry-After", str(self._retry_after()))]
+            return 429, _JSON + retry, _dumps(
+                {"error": "server overloaded; retry later", "retry_after": retry[0][1]}
+            )
         # Validation is off-loop: a first hit on a `file:` scenario
         # fingerprints and ingests the dataset, which must not stall every
         # other connection (health probes included) for the parse duration.
@@ -126,13 +207,23 @@ class SolverService:
             None, parse_solve_request, body
         )
         started = time.perf_counter()
-        result = await self.batcher.submit(request_point(request))
+        submission = self.batcher.submit(request_point(request))
+        try:
+            if deadline is not None:
+                result = await asyncio.wait_for(submission, deadline)
+            else:
+                result = await submission
+        except asyncio.TimeoutError:
+            self.metrics.record_timeout()
+            return 504, _JSON, _dumps(
+                {"error": f"deadline of {deadline * 1000:.0f} ms exceeded"}
+            )
         payload = render_response(request, result)
         self.metrics.record_response(
             request.algorithm, time.perf_counter() - started, cached=result.cached
         )
-        headers = _JSON + [("X-Repro-Cache", "hit" if result.cached else "miss")]
-        return 200, headers, payload
+        headers_out = _JSON + [("X-Repro-Cache", "hit" if result.cached else "miss")]
+        return 200, headers_out, payload
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -143,7 +234,19 @@ class SolverService:
         try:
             while True:
                 try:
-                    request = await _read_request(reader)
+                    request = await asyncio.wait_for(
+                        _read_request(reader), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Slow-loris (or an idle keep-alive connection): answer
+                    # best-effort and drop — the read deadline covers one
+                    # whole request, so a trickling client cannot pin a
+                    # connection open forever.
+                    writer.write(
+                        _render_http(408, _JSON, _dumps({"error": "request timeout"}), False)
+                    )
+                    await writer.drain()
+                    break
                 except ServiceError as exc:
                     # Unparseable wire data: answer once, then drop the
                     # connection (the stream position is unreliable now).
@@ -155,7 +258,7 @@ class SolverService:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, extra, payload = await self.handle(method, path, body)
+                status, extra, payload = await self.handle(method, path, body, headers)
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 writer.write(_render_http(status, extra, payload, keep_alive))
                 await writer.drain()
@@ -163,11 +266,16 @@ class SolverService:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.LimitOverrunError):
             pass
+        except asyncio.CancelledError:
+            # Event-loop shutdown with the connection parked on a read: end
+            # quietly — re-raising makes asyncio's streams callback log a
+            # spurious traceback for every open keep-alive connection.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
@@ -191,8 +299,13 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -227,6 +340,13 @@ async def _read_request(
             break
         name, _, value = header.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        # The stream position after a malformed chunked body is unknowable;
+        # refuse up front rather than risk desyncing a keep-alive stream.
+        raise ServiceError(
+            "chunked transfer encoding is not supported; send Content-Length",
+            status=411,
+        )
     try:
         length = int(headers.get("content-length", "0") or "0")
     except ValueError:

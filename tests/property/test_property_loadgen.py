@@ -1,0 +1,223 @@
+"""Property-based tests for the load harness and latency histogram.
+
+Three families of invariants:
+
+* **Histogram accuracy** — the geometric-bucket histogram promises every
+  percentile estimate within a *relative* ``error`` of the exact order
+  statistic.  Hypothesis hunts for sample sets that break the bound.
+* **Trace statistics** — synthetic traces must hit their configured mean
+  rate (up to CLT noise) and stay sorted/non-negative.
+* **Determinism** — same seed ⇒ byte-identical serialized trace; the
+  whole reproducibility story of ``repro loadtest`` rests on this.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen import (
+    ReplayConfig,
+    default_bodies,
+    load_trace,
+    onoff_trace,
+    poisson_trace,
+    ramp_trace,
+    save_trace,
+)
+from repro.service.histogram import LatencyHistogram
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_BODIES = default_bodies(n=20, distinct=2)
+
+
+def _exact_percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank order statistic — the definition the histogram targets."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestHistogramAccuracy:
+    @_settings
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-5, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        q=st.sampled_from([50.0, 90.0, 99.0, 99.9]),
+        error=st.sampled_from([0.01, 0.02, 0.05]),
+    )
+    def test_percentile_within_relative_error(self, samples, q, error):
+        hist = LatencyHistogram(error=error)
+        hist.record_many(samples)
+        exact = _exact_percentile(samples, q)
+        estimate = hist.percentile(q)
+        assert abs(estimate - exact) <= error * exact + 1e-12
+
+    @_settings
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-5, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_merge_equals_bulk_record(self, samples):
+        split = len(samples) // 2
+        left = LatencyHistogram()
+        left.record_many(samples[:split])
+        right = LatencyHistogram()
+        right.record_many(samples[split:])
+        left.merge(right)
+        combined = LatencyHistogram()
+        combined.record_many(samples)
+        merged_snap = left.snapshot()
+        bulk_snap = combined.snapshot()
+        # Summation order differs between the two paths, so the mean may
+        # drift by an ULP; every other field must be exactly equal.
+        assert math.isclose(
+            merged_snap.pop("mean"), bulk_snap.pop("mean"), rel_tol=1e-12
+        )
+        assert merged_snap == bulk_snap
+
+    @_settings
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-5, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_percentiles_are_monotone_and_bounded(self, samples):
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        quantiles = [hist.percentile(q) for q in (10, 50, 90, 99, 99.9)]
+        assert quantiles == sorted(quantiles)
+        assert min(samples) <= quantiles[0]
+        assert quantiles[-1] <= max(samples)
+
+    def test_numpy_cross_check_on_large_sample(self):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-3.0, sigma=1.0, size=20_000)
+        hist = LatencyHistogram(error=0.01)
+        hist.record_many(samples.tolist())
+        for q in (50.0, 90.0, 99.0, 99.9):
+            exact = float(np.percentile(samples, q, method="inverted_cdf"))
+            assert abs(hist.percentile(q) - exact) <= 0.011 * exact
+
+
+class TestTraceStatistics:
+    @_settings
+    @given(
+        rate=st.floats(min_value=20.0, max_value=500.0),
+        duration=st.floats(min_value=2.0, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_poisson_trace_hits_mean_rate(self, rate, duration, seed):
+        trace = poisson_trace(rate=rate, duration=duration, bodies=_BODIES, seed=seed)
+        expected = rate * duration
+        # ~5 sigma CLT bound on a Poisson count — vanishing flake odds.
+        assert abs(len(trace.requests) - expected) <= 5.0 * math.sqrt(expected) + 1
+        offsets = [request.at for request in trace.requests]
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= at <= duration for at in offsets)
+
+    @_settings
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_onoff_trace_bursts_and_idles(self, seed):
+        trace = onoff_trace(
+            on_rate=400.0, duration=4.0, bodies=_BODIES,
+            on_seconds=0.5, off_seconds=0.5, seed=seed,
+        )
+        on_count = sum(1 for r in trace.requests if (r.at % 1.0) < 0.5)
+        off_count = len(trace.requests) - on_count
+        # All traffic lands inside the on-windows when off_rate=0.
+        assert off_count == 0
+        assert on_count > 0
+
+    @_settings
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_ramp_trace_accelerates(self, seed):
+        trace = ramp_trace(
+            start_rate=20.0, end_rate=400.0, duration=6.0,
+            bodies=_BODIES, steps=6, seed=seed,
+        )
+        first_half = sum(1 for r in trace.requests if r.at < 3.0)
+        second_half = len(trace.requests) - first_half
+        assert second_half > first_half
+
+    @_settings
+    @given(
+        scale=st.floats(min_value=0.25, max_value=4.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_rate_scale_compresses_offsets(self, scale, seed):
+        trace = poisson_trace(rate=100.0, duration=3.0, bodies=_BODIES, seed=seed)
+        scaled = trace.scaled(scale)
+        assert len(scaled.requests) == len(trace.requests)
+        for original, rescaled in zip(trace.requests, scaled.requests):
+            assert math.isclose(rescaled.at, original.at / scale, rel_tol=1e-12)
+            assert rescaled.body == original.body
+        assert math.isclose(
+            scaled.mean_rate, trace.mean_rate * scale, rel_tol=1e-9
+        )
+
+
+class TestDeterminism:
+    @_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        kind=st.sampled_from(["poisson", "onoff", "ramp"]),
+    )
+    def test_same_seed_same_bytes(self, tmp_path_factory, seed, kind):
+        def build():
+            if kind == "poisson":
+                return poisson_trace(rate=120.0, duration=2.0, bodies=_BODIES, seed=seed)
+            if kind == "onoff":
+                return onoff_trace(
+                    on_rate=200.0, duration=2.0, bodies=_BODIES,
+                    on_seconds=0.5, off_seconds=0.5, seed=seed,
+                )
+            return ramp_trace(
+                start_rate=50.0, end_rate=200.0, duration=2.0,
+                bodies=_BODIES, steps=4, seed=seed,
+            )
+
+        directory = tmp_path_factory.mktemp("traces")
+        path_a = directory / "a.jsonl"
+        path_b = directory / "b.jsonl"
+        save_trace(build(), path_a)
+        save_trace(build(), path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_roundtrip_preserves_trace(self, tmp_path):
+        trace = poisson_trace(rate=90.0, duration=2.0, bodies=_BODIES, seed=11)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.meta == trace.meta
+        assert loaded.requests == trace.requests
+
+    def test_different_seeds_differ(self, tmp_path):
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        save_trace(poisson_trace(rate=120.0, duration=2.0, bodies=_BODIES, seed=1), path_a)
+        save_trace(poisson_trace(rate=120.0, duration=2.0, bodies=_BODIES, seed=2), path_b)
+        assert path_a.read_bytes() != path_b.read_bytes()
+
+    def test_replay_config_prepare_truncates_and_scales(self):
+        trace = poisson_trace(rate=200.0, duration=3.0, bodies=_BODIES, seed=3)
+        config = ReplayConfig(rate_scale=2.0, max_requests=50)
+        prepared = config.prepare(trace)
+        assert len(prepared.requests) == 50
+        assert prepared.requests[0].at == trace.requests[0].at / 2.0

@@ -13,6 +13,7 @@ import http.client
 import json
 import socket
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -23,15 +24,38 @@ FAST = {"algorithm": "mis", "params": {"n": 40, "c": 0.35}, "seed": 5}
 FIXTURE = Path(__file__).resolve().parents[1] / "data" / "social-small.txt"
 
 
-def _request(port, method, path, body=None, timeout=60):
+def _request(port, method, path, body=None, timeout=60, headers=None):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         payload = json.dumps(body) if isinstance(body, dict) else body
-        conn.request(method, path, payload)
+        conn.request(method, path, payload, headers or {})
         response = conn.getresponse()
         return response.status, dict(response.getheaders()), response.read()
     finally:
         conn.close()
+
+
+def _poll_until(predicate, *, timeout=30.0, interval=0.02, message="condition"):
+    """Wait for ``predicate()`` by polling — never a bare sleep-and-hope."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _wait_ready(port, timeout=30.0):
+    """Poll /healthz until the server answers; the readiness condition."""
+
+    def healthy():
+        try:
+            status, _, _ = _request(port, "GET", "/healthz", timeout=5)
+        except OSError:
+            return False
+        return status == 200
+
+    _poll_until(healthy, timeout=timeout, message="server readiness")
 
 
 def _burst(port, bodies, timeout=120):
@@ -56,6 +80,7 @@ def _burst(port, bodies, timeout=120):
 @pytest.fixture(scope="module")
 def server():
     with start_in_background(backend="batch", max_batch=16, batch_wait_ms=10.0) as handle:
+        _wait_ready(handle.port)
         yield handle
 
 
@@ -205,5 +230,62 @@ class TestErrorHandling:
     def test_errors_are_counted(self, server):
         before = json.loads(_request(server.port, "GET", "/metrics")[2])["errors_total"]
         _request(server.port, "POST", "/solve", {"algorithm": "simplex"})
-        after = json.loads(_request(server.port, "GET", "/metrics")[2])["errors_total"]
-        assert after == before + 1
+
+        def incremented():
+            after = json.loads(_request(server.port, "GET", "/metrics")[2])["errors_total"]
+            return after == before + 1
+
+        _poll_until(incremented, message="errors_total to increment")
+
+
+class TestHardenedSurface:
+    """The production-hardening additions: SLO metrics, deadlines, shedding."""
+
+    def test_metrics_exposes_latency_histogram(self, server):
+        _request(server.port, "POST", "/solve", FAST)
+        metrics = json.loads(_request(server.port, "GET", "/metrics")[2])
+        latency = metrics["latency"]
+        assert latency["count"] >= 1
+        assert latency["p50"] <= latency["p99"] <= latency["p999"]
+        assert latency["min"] <= latency["p50"] <= latency["max"]
+        # Per-algorithm histograms ride along.
+        assert metrics["algorithms"]["mis"]["latency"]["count"] >= 1
+
+    def test_metrics_exposes_shedding_counters_and_batcher_state(self, server):
+        metrics = json.loads(_request(server.port, "GET", "/metrics")[2])
+        assert metrics["rejected_total"] >= 0
+        assert metrics["deadline_timeouts_total"] >= 0
+        batcher = metrics["batcher"]
+        assert batcher["queue_depth"] >= 0
+        assert batcher["batch_size_limit"] >= 1
+        assert batcher["wait_seconds"] >= 0.0
+        assert isinstance(batcher["adaptive"], bool)
+
+    def test_generous_deadline_is_byte_identical_to_direct(self, server):
+        golden = solve_direct(parse_solve_request(FAST))
+        status, _, body = _request(
+            server.port, "POST", "/solve", FAST,
+            headers={"X-Repro-Deadline-Ms": "60000"},
+        )
+        assert status == 200
+        assert body == golden
+
+    def test_adaptive_server_stays_byte_identical(self):
+        bodies = [{**FAST, "seed": seed} for seed in range(4)]
+        goldens = [solve_direct(parse_solve_request(body)) for body in bodies]
+        with start_in_background(
+            backend="batch",
+            max_batch=8,
+            batch_wait_ms=5.0,
+            adaptive=True,
+            target_p99_ms=50.0,
+        ) as handle:
+            _wait_ready(handle.port)
+            for _ in range(3):  # several passes so the policy can adjust
+                for body, golden in zip(bodies, goldens):
+                    status, _, served = _request(handle.port, "POST", "/solve", body)
+                    assert status == 200
+                    assert served == golden
+            metrics = json.loads(_request(handle.port, "GET", "/metrics")[2])
+            assert metrics["batcher"]["adaptive"] is True
+            assert "policy" in metrics["batcher"]
