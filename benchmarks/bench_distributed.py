@@ -1,0 +1,121 @@
+"""Distributed-backend benchmarks: sweep across real worker processes.
+
+Measures the coordinator/worker path against serial execution on the same
+reference sweep the backend benchmarks use, with the workers as local
+``repro worker`` subprocesses (loopback HTTP — the protocol overhead is
+real, the network latency is not).  Asserts byte-identity on every run
+and attaches the coordinator's dispatch statistics
+(dispatched/replicated/requeued) to the report.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_distributed.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+from conftest import run_sweep_benchmark
+from repro.backends import DistributedBackend, SweepPoint, run_sweep
+from repro.backends.cache import record_to_payload
+from repro.experiments import matching_experiment
+
+#: Same shape as bench_backends.REFERENCE_SWEEP: 8 independent cells.
+REFERENCE_SWEEP = [
+    SweepPoint(
+        experiment=f"fig1-matching[{i}]",
+        fn=matching_experiment,
+        kwargs={"n": 140, "c": 0.45, "mu": 0.25},
+        seed=(2018, i),
+    )
+    for i in range(8)
+]
+
+WORKERS = 2
+
+
+def _start_worker() -> tuple[subprocess.Popen, str]:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    match = re.search(r"listening on http://([\d.]+):(\d+)", proc.stdout.readline())
+    assert match, "worker did not print its listening banner"
+    return proc, f"{match.group(1)}:{match.group(2)}"
+
+
+@pytest.fixture(scope="module")
+def worker_addresses():
+    workers = [_start_worker() for _ in range(WORKERS)]
+    yield [address for _, address in workers]
+    for proc, _ in workers:
+        proc.terminate()
+    for proc, _ in workers:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def _payloads(results):
+    return [[record_to_payload(r) for r in result.records] for result in results]
+
+
+@pytest.mark.benchmark(group="distributed")
+def bench_sweep_distributed(benchmark, worker_addresses):
+    """The reference sweep across real worker processes, identity-checked."""
+    serial_start = time.perf_counter()
+    serial = run_sweep(REFERENCE_SWEEP, backend="serial")
+    serial_seconds = time.perf_counter() - serial_start
+
+    backend = DistributedBackend(worker_addresses)
+    results = run_sweep_benchmark(benchmark, REFERENCE_SWEEP, backend=backend)
+    assert _payloads(results) == _payloads(serial)
+
+    distributed_seconds = min(benchmark.stats.stats.data)
+    stats = backend.last_stats or {}
+    benchmark.extra_info.update(
+        {
+            "serial_seconds": round(serial_seconds, 3),
+            "distributed_seconds": round(distributed_seconds, 3),
+            "speedup_vs_serial": round(serial_seconds / distributed_seconds, 2),
+            "workers": len(worker_addresses),
+            "dispatched": stats.get("dispatched"),
+            "replicated": stats.get("replicated"),
+            "requeued": stats.get("requeued"),
+            "cpus": os.cpu_count(),
+        }
+    )
+
+
+@pytest.mark.benchmark(group="distributed")
+def bench_sweep_distributed_replicated(benchmark, worker_addresses):
+    """Straggler replication on: duplicate dispatch must not change results."""
+    serial = run_sweep(REFERENCE_SWEEP, backend="serial")
+    backend = DistributedBackend(worker_addresses, replicate=2, poll_interval=0.005)
+    results = run_sweep_benchmark(benchmark, REFERENCE_SWEEP, backend=backend)
+    assert _payloads(results) == _payloads(serial)
+    stats = backend.last_stats or {}
+    benchmark.extra_info.update(
+        {
+            "replicated": stats.get("replicated"),
+            "dispatched": stats.get("dispatched"),
+        }
+    )

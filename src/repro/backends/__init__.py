@@ -10,6 +10,8 @@ self-seeded :class:`SweepPoint` evaluations — and this package decides
   processes, byte-identical results to serial.
 * :class:`BatchBackend` — repeated trials of one configuration grouped and
   exact duplicates memoised.
+* :class:`DistributedBackend` — points sharded across ``repro worker``
+  processes on one or many hosts (see :mod:`repro.distributed`).
 
 :func:`run_sweep` is the single entry point (backend resolution + disk
 cache + dispatch); see ``docs/ARCHITECTURE.md`` for where this layer sits.
@@ -26,6 +28,7 @@ from .base import (
 )
 from .batch import BatchBackend
 from .cache import ResultCache
+from .distributed import DistributedBackend
 from .parallel import MultiprocessingBackend
 from .serial import SerialBackend
 from .sweep import BACKENDS, get_backend, run_sweep, sweep_records
@@ -34,6 +37,7 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "BatchBackend",
+    "DistributedBackend",
     "MultiprocessingBackend",
     "PointResult",
     "ResultCache",

@@ -26,6 +26,7 @@ from typing import Any, Iterable, Sequence
 from .base import Backend, PointResult, SweepPoint
 from .batch import BatchBackend
 from .cache import ResultCache
+from .distributed import DistributedBackend
 from .parallel import MultiprocessingBackend
 from .serial import SerialBackend
 
@@ -36,33 +37,47 @@ BACKENDS = {
     "serial": SerialBackend,
     "mp": MultiprocessingBackend,
     "batch": BatchBackend,
+    "distributed": DistributedBackend,
 }
 
 
 def get_backend(
-    backend: Backend | str | None = None, *, jobs: int | None = None
+    backend: Backend | str | None = None,
+    *,
+    jobs: int | None = None,
+    workers: Sequence[str] | None = None,
 ) -> Backend:
     """Resolve a backend instance from an instance, registry name, or ``None``.
 
-    ``jobs`` only applies to backends that run workers (``"mp"``); passing
-    it with anything else — an instance or a worker-less backend name — is
-    an error, so a requested worker count is never silently ignored.
+    ``jobs`` only applies to backends that run local worker processes
+    (``"mp"``); ``workers`` (a list of ``host:port`` addresses) only to
+    ``"distributed"``.  Passing either with anything else — an instance or
+    a backend that cannot honour it — is an error, so a requested worker
+    count or address list is never silently ignored.
     """
     if backend is None:
         backend = "serial"
     if isinstance(backend, Backend):
         if jobs is not None:
             raise ValueError("pass jobs when selecting a backend by name, not an instance")
+        if workers is not None:
+            raise ValueError("pass workers when selecting a backend by name, not an instance")
         return backend
     name = str(backend)
     if name == "multiprocessing":  # convenience alias
         name = "mp"
     if name not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
+    if workers is not None and name != "distributed":
+        raise ValueError(
+            f"workers is only meaningful for the 'distributed' backend, not {name!r}"
+        )
     if name == "mp":
         return MultiprocessingBackend(jobs=jobs)
     if jobs is not None:
         raise ValueError(f"jobs is only meaningful for the 'mp' backend, not {name!r}")
+    if name == "distributed":
+        return DistributedBackend(workers)
     return BACKENDS[name]()
 
 
@@ -71,6 +86,7 @@ def run_sweep(
     *,
     backend: Backend | str | None = None,
     jobs: int | None = None,
+    workers: Sequence[str] | None = None,
     cache: ResultCache | str | os.PathLike[str] | None = None,
 ) -> list[PointResult]:
     """Execute a sweep and return one result per point, in input order.
@@ -81,14 +97,17 @@ def run_sweep(
         The independent evaluations to run.
     backend:
         Backend instance or registry name (``"serial"``, ``"mp"``,
-        ``"batch"``); default serial.
+        ``"batch"``, ``"distributed"``); default serial.
     jobs:
         Worker count for the ``"mp"`` backend.
+    workers:
+        ``host:port`` addresses for the ``"distributed"`` backend (falls
+        back to the ``REPRO_WORKERS`` environment variable).
     cache:
         A :class:`ResultCache` (or a directory path, which constructs one).
         Points whose results are already cached are *not* re-executed.
     """
-    resolved = get_backend(backend, jobs=jobs)
+    resolved = get_backend(backend, jobs=jobs, workers=workers)
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
 

@@ -50,6 +50,12 @@ Installed as ``python -m repro``.  Subcommands:
     429s (``--max-queue``), and per-request deadlines return 504s
     (``--deadline-ms``).
 
+``worker``
+    Run a distributed sweep worker (see ``docs/DISTRIBUTED.md``): the
+    solver service plus the ``/register``/``/pull``/``/result`` endpoints
+    a coordinator drives.  Start several (on one or many hosts), then run
+    any sweep with ``--backend distributed --workers host:port,...``.
+
 ``loadtest``
     Replay a seeded request trace (Poisson / bursty on-off / ramp / a
     recorded JSONL file) against a live or in-process service over
@@ -57,6 +63,8 @@ Installed as ``python -m repro``.  Subcommands:
     shed (429) and error counts, and server batch occupancy.  Optionally
     appends the report to the ``BENCH_service.json`` trajectory and gates
     absolute p99, 5xx counts, and p99 regression vs the previous run.
+    ``--pipeline N`` keeps up to N requests in flight per connection
+    (HTTP/1.1 pipelining).
 
 The experiment subcommands accept ``--scenario NAME`` / ``--scenario
 file:PATH`` to run on a named workload or an ingested dataset instead of
@@ -67,11 +75,15 @@ Every experiment subcommand accepts the execution-backend flags (``bench``
 restricts them: no ``mp``, no cache — concurrent or replayed wall-clock
 timings are not measurements):
 
-``--backend {serial,mp,batch}``
+``--backend {serial,mp,batch,distributed}``
     How to execute the sweep's independent points (default ``serial``);
-    ``mp`` fans points out across worker processes with identical results.
+    ``mp`` fans points out across worker processes, ``distributed``
+    across ``repro worker`` processes/hosts — identical results either way.
 ``--jobs N``
     Worker count for ``--backend mp`` (default: all CPUs).
+``--workers HOST:PORT,...``
+    Worker addresses for ``--backend distributed`` (default: the
+    ``REPRO_WORKERS`` environment variable).
 ``--cache-dir PATH``
     Disk cache for completed points; re-runs skip work already done.
 
@@ -153,6 +165,17 @@ def _cache_dir(value: str) -> str:
     return value
 
 
+def _workers_list(value: str) -> list[str]:
+    addresses = [part.strip() for part in value.split(",") if part.strip()]
+    if not addresses:
+        raise argparse.ArgumentTypeError("expected host:port[,host:port...]")
+    for address in addresses:
+        host, sep, port = address.rpartition(":")
+        if "//" not in address and (not sep or not host or not port.isdigit()):
+            raise argparse.ArgumentTypeError(f"{address!r} is not host:port")
+    return addresses
+
+
 def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     """Attach the shared execution-backend flags to a subcommand parser."""
     group = parser.add_argument_group("execution backend")
@@ -168,6 +191,14 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="worker processes for --backend mp (default: all CPUs)",
+    )
+    group.add_argument(
+        "--workers",
+        type=_workers_list,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="worker addresses for --backend distributed (default: the "
+        "REPRO_WORKERS environment variable; see docs/DISTRIBUTED.md)",
     )
     group.add_argument(
         "--cache-dir",
@@ -202,6 +233,106 @@ def _param_pair(value: str) -> tuple[str, object]:
     if not sep or not key:
         raise argparse.ArgumentTypeError(f"{value!r} is not of the form key=value")
     return key, _param_value(raw)
+
+
+def _add_serve_options(parser: argparse.ArgumentParser, *, worker: bool = False) -> None:
+    """Attach the service flags shared by ``serve`` and ``worker``."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8081 if worker else 8080,
+        help=f"TCP port (default: {8081 if worker else 8080}; 0 picks a free "
+        "port and prints it)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="serial" if worker else "batch",
+        help="how pulled points execute (default: serial)"
+        if worker
+        else "how each micro-batch executes (default: batch — memoises "
+        "duplicate concurrent requests)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend mp (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        metavar="PATH",
+        help="ResultCache directory; repeated requests replay instead of recomputing",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="largest micro-batch a single sweep call executes (default: 32)",
+    )
+    parser.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long a batch waits for more concurrent requests (default: 5)",
+    )
+    parser.add_argument(
+        "--instance-cache",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="capacity of the materialized file-scenario LRU (default: 64)",
+    )
+    parser.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="disable latency-aware adaptive batching (fixed max-batch/wait)",
+    )
+    parser.add_argument(
+        "--target-p99-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="latency SLO the adaptive batcher steers under (default: 500)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="shed requests with 429 beyond this queue depth; 0 disables "
+        "(default: 1024)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline -> 504 (default: none; clients "
+        "may tighten via X-Repro-Deadline-Ms)",
+    )
+    parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to receive one full request / keep-alive idle limit "
+        "(default: 30)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds a SIGTERM shutdown waits for in-flight and queued "
+        "work to finish (default: 30)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -337,91 +468,20 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve", help="run the batched solver service (see docs/SERVICE.md)"
     )
-    srv.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
-    srv.add_argument(
-        "--port",
-        type=int,
-        default=8080,
-        help="TCP port (default: 8080; 0 picks a free port and prints it)",
+    _add_serve_options(srv)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run a distributed sweep worker (see docs/DISTRIBUTED.md)",
+        description=(
+            "Run the solver service in worker mode: everything `repro serve` "
+            "does, plus the /register, /pull, and /result endpoints a "
+            "distributed-sweep coordinator drives.  Start one per "
+            "core/host, then run any sweep with --backend distributed "
+            "--workers host:port,host:port,..."
+        ),
     )
-    srv.add_argument(
-        "--backend",
-        choices=sorted(BACKENDS),
-        default="batch",
-        help="how each micro-batch executes (default: batch — memoises "
-        "duplicate concurrent requests)",
-    )
-    srv.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="worker processes for --backend mp (default: all CPUs)",
-    )
-    srv.add_argument(
-        "--cache-dir",
-        type=_cache_dir,
-        default=None,
-        metavar="PATH",
-        help="ResultCache directory; repeated requests replay instead of recomputing",
-    )
-    srv.add_argument(
-        "--max-batch",
-        type=_positive_int,
-        default=32,
-        metavar="N",
-        help="largest micro-batch a single sweep call executes (default: 32)",
-    )
-    srv.add_argument(
-        "--batch-wait-ms",
-        type=float,
-        default=5.0,
-        metavar="MS",
-        help="how long a batch waits for more concurrent requests (default: 5)",
-    )
-    srv.add_argument(
-        "--instance-cache",
-        type=_positive_int,
-        default=64,
-        metavar="N",
-        help="capacity of the materialized file-scenario LRU (default: 64)",
-    )
-    srv.add_argument(
-        "--no-adaptive",
-        action="store_true",
-        help="disable latency-aware adaptive batching (fixed max-batch/wait)",
-    )
-    srv.add_argument(
-        "--target-p99-ms",
-        type=float,
-        default=500.0,
-        metavar="MS",
-        help="latency SLO the adaptive batcher steers under (default: 500)",
-    )
-    srv.add_argument(
-        "--max-queue",
-        type=int,
-        default=1024,
-        metavar="N",
-        help="shed requests with 429 beyond this queue depth; 0 disables "
-        "(default: 1024)",
-    )
-    srv.add_argument(
-        "--deadline-ms",
-        type=float,
-        default=None,
-        metavar="MS",
-        help="default per-request deadline -> 504 (default: none; clients "
-        "may tighten via X-Repro-Deadline-Ms)",
-    )
-    srv.add_argument(
-        "--read-timeout",
-        type=float,
-        default=30.0,
-        metavar="S",
-        help="seconds to receive one full request / keep-alive idle limit "
-        "(default: 30)",
-    )
+    _add_serve_options(wrk, worker=True)
 
     load = sub.add_parser(
         "loadtest",
@@ -492,6 +552,14 @@ def build_parser() -> argparse.ArgumentParser:
     client = load.add_argument_group("client")
     client.add_argument(
         "--connections", type=_positive_int, default=16, help="keep-alive connection pool (default: 16)"
+    )
+    client.add_argument(
+        "--pipeline",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="HTTP/1.1 pipelining depth: keep up to N requests in flight "
+        "per connection (default: 1 — no pipelining)",
     )
     client.add_argument(
         "--client-deadline-ms",
@@ -582,7 +650,7 @@ def _record_to_json(record: ExperimentRecord) -> dict[str, object]:
 
 def _print_records(records: Sequence[ExperimentRecord], as_json: bool) -> None:
     if as_json:
-        print(json.dumps([_record_to_json(r) for r in records], indent=2, default=str))
+        print(json.dumps([_record_to_json(r) for r in records], indent=2, sort_keys=True, default=str))
         return
     rows = []
     metric_keys: list[str] = []
@@ -600,8 +668,16 @@ def _print_records(records: Sequence[ExperimentRecord], as_json: bool) -> None:
 
 
 def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    backend: object = args.backend
+    if args.backend == "distributed":
+        # Construct the backend here (instead of forwarding a `workers`
+        # kwarg) so every sweep driver keeps its existing signature —
+        # run_sweep accepts Backend instances everywhere.
+        from .backends.distributed import DistributedBackend
+
+        backend = DistributedBackend(getattr(args, "workers", None))
     return {
-        "backend": args.backend,
+        "backend": backend,
         "jobs": args.jobs,
         "cache": args.cache_dir,
     }
@@ -683,7 +759,7 @@ def _run_single(args: argparse.Namespace) -> int:
         **_backend_kwargs(args),
     )
     if args.json:
-        print(json.dumps(_record_to_json(record), indent=2, default=str))
+        print(json.dumps(_record_to_json(record), indent=2, sort_keys=True, default=str))
     else:
         print(f"experiment: {record.experiment}  (valid: {record.valid})")
         print(f"parameters: {record.parameters}")
@@ -841,7 +917,7 @@ def _run_data(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
+def _run_serve(args: argparse.Namespace, *, worker: bool = False) -> int:
     from .service import serve
 
     if args.port < 0 or args.port > 65535:
@@ -849,6 +925,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     return serve(
         host=args.host,
         port=args.port,
+        drain_timeout=args.drain_timeout,
         backend=args.backend,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -860,6 +937,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         deadline_ms=args.deadline_ms,
         read_timeout=args.read_timeout,
+        worker=worker,
     )
 
 
@@ -917,6 +995,7 @@ def _run_loadtest(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         connections=args.connections,
         verify=args.verify,
         deadline_ms=args.client_deadline_ms,
+        pipeline=args.pipeline,
     )
     service_kwargs = {}
     if not args.url:
@@ -968,6 +1047,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(str(exc))
     if args.jobs is not None and args.backend != "mp":
         parser.error("--jobs is only meaningful with --backend mp")
+    if getattr(args, "workers", None) is not None and args.backend != "distributed":
+        parser.error("--workers is only meaningful with --backend distributed")
     if getattr(args, "scenario", None) is not None:
         if args.command == "scaling" and args.sweep == "c":
             parser.error(
@@ -978,10 +1059,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             resolve_scenario(args.scenario)
         except (ValueError, OSError) as exc:
             parser.error(str(exc))
-    if args.command == "bench" and args.backend == "mp":
-        # Concurrent workers contend for cores, so each worker's wall-clock
-        # timings absorb the others' preemptions — the measured ratios stop
-        # meaning anything.  Timing sweeps must run uncontended.
+    if args.command == "bench" and args.backend in ("mp", "distributed"):
+        # Concurrent workers contend for cores (and distributed adds network
+        # time), so each worker's wall-clock timings absorb the others'
+        # preemptions — the measured ratios stop meaning anything.  Timing
+        # sweeps must run uncontended.
         parser.error("bench measures wall-clock; use --backend serial or batch")
     if args.command == "bench" and args.cache_dir is not None:
         # A cache hit would replay a previous run's timings as if they were
@@ -989,6 +1071,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("bench measures wall-clock; results must not be cached")
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "worker":
+        return _run_serve(args, worker=True)
     if args.command == "loadtest":
         return _run_loadtest(args, parser)
     if args.command == "solve":

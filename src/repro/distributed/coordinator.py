@@ -1,0 +1,394 @@
+"""The coordinator: shard points across workers, survive their failures.
+
+The :class:`Coordinator` is the client half of the protocol in
+:mod:`repro.distributed.protocol`.  One :meth:`Coordinator.run` call is one
+sweep:
+
+1. **Register** a fresh sweep id with every worker (dead ones are dropped
+   up front; at least one must answer).
+2. **Shard** the distinct points (by content digest) across the live
+   workers with :func:`~repro.mapreduce.partition.balanced_partition` and
+   hand each worker its shard in bounded ``/pull`` chunks.
+3. **Poll** ``/result`` on every worker, acknowledging what it already
+   collected.  A worker that fails ``max_failures`` consecutive calls is
+   declared dead and its outstanding points are requeued onto the live
+   workers — the digest idempotency key makes the re-dispatch safe even if
+   the "dead" worker was merely slow and finishes anyway.
+4. **Replicate stragglers**: when a worker runs dry while other workers
+   still hold in-flight points, the longest-outstanding pending points are
+   copied onto the idle worker (up to ``replicate`` live copies each; the
+   first result wins).  This is the coded-shuffle trade — spend duplicate
+   work to cut the straggler tail.
+
+Every point is deterministic in its own seed and results travel as the
+canonical ResultCache record payloads, so whichever worker answers first,
+the assembled :class:`~repro.backends.PointResult` list is byte-identical
+to serial execution.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import secrets
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..backends.base import PointResult, SweepPoint, point_signature
+from ..mapreduce.partition import balanced_partition
+from .protocol import (
+    DistributedError,
+    RemoteExecutionError,
+    WorkerProtocolError,
+    WorkerUnavailableError,
+    decode_records,
+    encode_point,
+    point_key,
+)
+
+__all__ = ["Coordinator", "CoordinatorStats", "WorkerClient"]
+
+_JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    """``host:port`` or ``http://host:port`` → ``(host, port)``."""
+    raw = address.strip()
+    if "//" in raw:
+        parsed = urllib.parse.urlparse(raw)
+        if not parsed.hostname or not parsed.port:
+            raise ValueError(f"worker address {address!r} needs host and port")
+        return parsed.hostname, parsed.port
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"worker address {address!r} is not host:port")
+    return host, int(port)
+
+
+class WorkerClient:
+    """One persistent HTTP connection to one worker (reconnect-once retry)."""
+
+    def __init__(self, address: str, *, timeout: float = 30.0) -> None:
+        self.address = address
+        self.host, self.port = _parse_address(address)
+        self.timeout = float(timeout)
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._conn = None
+
+    def _exchange(self, path: str, body: bytes) -> tuple[int, bytes]:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        self._conn.request("POST", path, body, _JSON_HEADERS)
+        response = self._conn.getresponse()
+        return response.status, response.read()
+
+    def call(self, path: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST one protocol message; returns the decoded JSON response."""
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        try:
+            status, raw = self._exchange(path, body)
+        except (http.client.HTTPException, OSError):
+            # A kept-alive connection may have been dropped; one fresh
+            # connection gets one retry before the worker counts as gone.
+            self.close()
+            try:
+                status, raw = self._exchange(path, body)
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                raise WorkerUnavailableError(
+                    f"worker {self.address} unreachable on {path}: {exc}"
+                ) from exc
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise WorkerProtocolError(
+                f"worker {self.address} answered {path} with invalid JSON"
+            ) from exc
+        if status != 200:
+            raise WorkerProtocolError(
+                f"worker {self.address} answered {path} with {status}: "
+                f"{decoded.get('error', raw[:200])}"
+            )
+        if not isinstance(decoded, dict):
+            raise WorkerProtocolError(
+                f"worker {self.address} answered {path} with a non-object"
+            )
+        return decoded
+
+
+@dataclass
+class CoordinatorStats:
+    """What one distributed sweep did, for benchmarks and smoke checks."""
+
+    workers: int = 0
+    points: int = 0
+    distinct_points: int = 0
+    dispatched: int = 0
+    replicated: int = 0
+    requeued: int = 0
+    workers_lost: list[str] = field(default_factory=list)
+    polls: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "points": self.points,
+            "distinct_points": self.distinct_points,
+            "dispatched": self.dispatched,
+            "replicated": self.replicated,
+            "requeued": self.requeued,
+            "workers_lost": list(self.workers_lost),
+            "polls": self.polls,
+        }
+
+
+class _WorkerSlot:
+    """Coordinator-side bookkeeping for one worker."""
+
+    def __init__(self, client: WorkerClient) -> None:
+        self.client = client
+        self.assigned: set[str] = set()
+        self.to_ack: list[str] = []
+        self.failures = 0
+        self.alive = True
+
+
+class Coordinator:
+    """Run sweeps across a fixed set of worker addresses."""
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        *,
+        replicate: int = 2,
+        poll_interval: float = 0.02,
+        timeout: float = 30.0,
+        max_failures: int = 2,
+        pull_chunk: int = 200,
+    ) -> None:
+        addresses = [str(w) for w in workers if str(w).strip()]
+        if not addresses:
+            raise ValueError("the distributed backend needs at least one worker")
+        for address in addresses:
+            _parse_address(address)  # fail fast on malformed addresses
+        self.addresses = addresses
+        self.replicate = max(1, int(replicate))
+        self.poll_interval = max(0.0, float(poll_interval))
+        self.timeout = float(timeout)
+        self.max_failures = max(1, int(max_failures))
+        self.pull_chunk = max(1, int(pull_chunk))
+        self.stats = CoordinatorStats()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch helpers
+    # ------------------------------------------------------------------ #
+    def _push(
+        self,
+        slot: _WorkerSlot,
+        digests: Sequence[str],
+        encoded: dict[str, dict[str, Any]],
+        sweep: str,
+    ) -> bool:
+        """Send ``digests`` to one worker in bounded chunks; False if it died."""
+        for start in range(0, len(digests), self.pull_chunk):
+            chunk = list(digests[start : start + self.pull_chunk])
+            try:
+                slot.client.call(
+                    "/pull",
+                    {"sweep": sweep, "points": [encoded[d] for d in chunk]},
+                )
+            except WorkerUnavailableError:
+                slot.alive = False
+                return False
+            slot.assigned.update(chunk)
+            self.stats.dispatched += len(chunk)
+        return True
+
+    def _requeue(
+        self,
+        lost: _WorkerSlot,
+        live: list[_WorkerSlot],
+        completed: dict[str, list[Any]],
+        encoded: dict[str, dict[str, Any]],
+        sweep: str,
+    ) -> None:
+        """Move a dead worker's outstanding points onto the live ones."""
+        orphans = [d for d in lost.assigned if d not in completed]
+        lost.assigned.clear()
+        for digest in orphans:
+            holders = [s for s in live if digest in s.assigned]
+            if holders:
+                continue  # a replica is still in flight elsewhere
+            target = min(live, key=lambda s: len(s.assigned - set(completed)))
+            if self._push(target, [digest], encoded, sweep):
+                self.stats.requeued += 1
+
+    def _replicate_stragglers(
+        self,
+        live: list[_WorkerSlot],
+        pending: list[str],
+        dispatch_order: dict[str, int],
+        encoded: dict[str, dict[str, Any]],
+        sweep: str,
+    ) -> None:
+        """Copy the longest-outstanding pending points onto idle workers."""
+        if len(live) < 2:
+            return
+        pending_set = set(pending)
+        idle = [slot for slot in live if not (slot.assigned & pending_set)]
+        if not idle:
+            return
+        # Oldest dispatch first: those have been in flight the longest.
+        candidates = sorted(pending, key=lambda d: dispatch_order.get(d, 0))
+        for slot in idle:
+            copies = [
+                d
+                for d in candidates
+                if d not in slot.assigned
+                and sum(1 for s in live if d in s.assigned) < self.replicate
+            ][: self.pull_chunk]
+            if not copies:
+                break
+            if self._push(slot, copies, encoded, sweep):
+                self.stats.replicated += len(copies)
+
+    # ------------------------------------------------------------------ #
+    # The sweep
+    # ------------------------------------------------------------------ #
+    def run(self, points: Sequence[SweepPoint]) -> list[PointResult]:
+        """Execute ``points`` across the workers; results in input order."""
+        points = list(points)
+        digests = [point_key(point) for point in points]
+        encoded: dict[str, dict[str, Any]] = {}
+        signature: dict[str, str] = {}
+        experiment: dict[str, str] = {}
+        order: list[str] = []
+        for point, digest in zip(points, digests):
+            if digest not in encoded:
+                encoded[digest] = encode_point(point)
+                signature[digest] = point_signature(point)
+                experiment[digest] = point.experiment
+                order.append(digest)
+        self.stats.points = len(points)
+        self.stats.distinct_points = len(order)
+
+        sweep = secrets.token_hex(8)
+        slots: list[_WorkerSlot] = []
+        for address in self.addresses:
+            slot = _WorkerSlot(WorkerClient(address, timeout=self.timeout))
+            try:
+                slot.client.call("/register", {"sweep": sweep})
+            except WorkerUnavailableError:
+                slot.alive = False
+            slots.append(slot)
+        live = [slot for slot in slots if slot.alive]
+        if not live:
+            raise DistributedError(
+                f"no worker among {self.addresses} answered /register; "
+                "start them with `repro worker`"
+            )
+        self.stats.workers = len(live)
+
+        try:
+            return self._drive(order, points, digests, encoded, signature, experiment, live, sweep)
+        finally:
+            for slot in slots:
+                slot.client.close()
+
+    def _drive(
+        self,
+        order: list[str],
+        points: list[SweepPoint],
+        digests: list[str],
+        encoded: dict[str, dict[str, Any]],
+        signature: dict[str, str],
+        experiment: dict[str, str],
+        live: list[_WorkerSlot],
+        sweep: str,
+    ) -> list[PointResult]:
+        # Initial sharding: contiguous balanced blocks across live workers.
+        assignment = balanced_partition(len(order), len(live))
+        dispatch_order: dict[str, int] = {}
+        for index, (digest, machine) in enumerate(zip(order, assignment)):
+            dispatch_order[digest] = index
+        for machine, slot in enumerate(live):
+            shard = [d for d, m in zip(order, assignment) if m == machine]
+            self._push(slot, shard, encoded, sweep)
+        completed: dict[str, list[Any]] = {}
+
+        while len(completed) < len(order):
+            progressed = False
+            for slot in list(live):
+                if not slot.alive:
+                    continue
+                try:
+                    response = slot.client.call(
+                        "/result", {"sweep": sweep, "acked": slot.to_ack}
+                    )
+                    slot.to_ack = []
+                    slot.failures = 0
+                except WorkerUnavailableError:
+                    slot.failures += 1
+                    if slot.failures < self.max_failures:
+                        continue
+                    slot.alive = False
+                    self.stats.workers_lost.append(slot.client.address)
+                    live = [s for s in live if s.alive]
+                    if not live:
+                        raise DistributedError(
+                            "every worker died with "
+                            f"{len(order) - len(completed)} points outstanding"
+                        )
+                    self._requeue(slot, live, completed, encoded, sweep)
+                    continue
+                self.stats.polls += 1
+                for entry in response.get("completed", []):
+                    digest = str(entry.get("digest", ""))
+                    if digest not in encoded:
+                        continue  # stale or foreign entry: ignore, don't ack
+                    slot.to_ack.append(digest)
+                    if digest in completed:
+                        continue  # a replica already answered
+                    if "error" in entry:
+                        raise RemoteExecutionError(
+                            f"point {experiment[digest]!r} failed on worker "
+                            f"{slot.client.address}: {entry['error']}",
+                            digest=digest,
+                            worker=slot.client.address,
+                        )
+                    if entry.get("signature") != signature[digest]:
+                        raise WorkerProtocolError(
+                            f"worker {slot.client.address} returned a result "
+                            f"whose signature does not match point "
+                            f"{experiment[digest]!r}"
+                        )
+                    completed[digest] = decode_records(entry.get("records", []))
+                    progressed = True
+
+            pending = [d for d in order if d not in completed]
+            if pending and live:
+                self._replicate_stragglers(
+                    live, pending, dispatch_order, encoded, sweep
+                )
+            if not progressed and pending:
+                time.sleep(self.poll_interval)
+
+        return [
+            PointResult(
+                experiment=point.experiment,
+                signature=signature[digest],
+                records=list(completed[digest]),
+            )
+            for point, digest in zip(points, digests)
+        ]

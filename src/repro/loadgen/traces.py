@@ -115,7 +115,10 @@ class ReplayConfig:
     ``max_requests`` truncates it; ``connections`` sizes the keep-alive
     connection pool; ``timeout`` bounds one HTTP exchange; ``verify``
     checks every 200 body byte-for-byte against the direct library call
-    (expensive: one in-process solve per *distinct* request body).
+    (expensive: one in-process solve per *distinct* request body);
+    ``pipeline`` > 1 enables HTTP/1.1 pipelining — each connection keeps
+    up to that many requests in flight before reading responses (off by
+    default: 1 request at a time per connection, as before).
     """
 
     rate_scale: float = 1.0
@@ -124,6 +127,7 @@ class ReplayConfig:
     timeout: float = 120.0
     verify: bool = False
     deadline_ms: float | None = None
+    pipeline: int = 1
 
     def prepare(self, trace: RequestTrace) -> RequestTrace:
         return trace.scaled(self.rate_scale).truncated(self.max_requests)

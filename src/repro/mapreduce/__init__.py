@@ -13,6 +13,15 @@ are exactly the quantities tabulated in Figure 1 of the paper.
 
 from .cluster import Cluster
 from .engine import MPCContext, tree_rounds
+from .executor import (
+    LocalRoundExecutor,
+    RoundExecutor,
+    ShardResult,
+    SweepRoundExecutor,
+    distributed_degree_count,
+    edge_degree_shard,
+    execute_round_shard,
+)
 from .exceptions import (
     AlgorithmFailureError,
     CommunicationExceededError,
@@ -42,6 +51,13 @@ __all__ = [
     "Cluster",
     "MPCContext",
     "tree_rounds",
+    "RoundExecutor",
+    "LocalRoundExecutor",
+    "SweepRoundExecutor",
+    "ShardResult",
+    "execute_round_shard",
+    "edge_degree_shard",
+    "distributed_degree_count",
     "run_mapreduce_round",
     "run_mapreduce_pipeline",
     "degree_count_job",

@@ -33,13 +33,16 @@ node of the tree never holds more than ``fanout × payload`` words.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
 from .cluster import Cluster
 from .exceptions import MemoryExceededError, ProtocolError
 from .metrics import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import RoundExecutor
 
 __all__ = ["MPCContext", "tree_rounds"]
 
@@ -77,6 +80,13 @@ class MPCContext:
         When ``True`` (default) memory violations raise; when ``False`` they
         are only recorded (useful for exploratory experiments that want to
         observe by how much a bound would be exceeded).
+    executor:
+        Where :meth:`map_round` physically runs a round's shard functions
+        (see :mod:`repro.mapreduce.executor`).  ``None`` means in-process
+        (:class:`~repro.mapreduce.executor.LocalRoundExecutor`); a
+        :class:`~repro.mapreduce.executor.SweepRoundExecutor` with
+        ``backend="distributed"`` executes rounds across real worker
+        processes/hosts while this context keeps doing the accounting.
     """
 
     def __init__(
@@ -86,11 +96,13 @@ class MPCContext:
         algorithm: str = "",
         default_fanout: int = 2,
         strict: bool = True,
+        executor: "RoundExecutor | None" = None,
     ):
         self.cluster = cluster
         self.metrics = RunMetrics(algorithm=algorithm)
         self.default_fanout = max(2, int(default_fanout))
         self.strict = strict
+        self.executor = executor
         self._closed = False
         self._violations: list[str] = []
 
@@ -164,6 +176,46 @@ class MPCContext:
             words_communicated=int(words_communicated),
             messages=int(messages),
         )
+
+    def map_round(
+        self,
+        shard_fn: Any,
+        shards: Sequence[Any],
+        description: str,
+        *,
+        phase: str = "",
+        params: Mapping[str, Any] | None = None,
+    ) -> list[Any]:
+        """Execute one parallel round for real and account it.
+
+        ``shard_fn`` (a module-level callable, or its import path) is
+        applied to every entry of ``shards`` by this context's
+        :class:`~repro.mapreduce.executor.RoundExecutor` — in-process by
+        default, across worker processes/hosts with a
+        :class:`~repro.mapreduce.executor.SweepRoundExecutor`.  The
+        *measured* per-shard payload sizes (input + output words, as they
+        crossed — or would cross — the wire) feed the usual
+        :meth:`parallel_round` budget checks, so the simulator's
+        load-violation accounting applies unchanged to real execution.
+        Returns the shard outputs in shard order.
+        """
+        self._check_open()
+        if self.executor is None:
+            from .executor import LocalRoundExecutor
+
+            self.executor = LocalRoundExecutor()
+        results = self.executor.run_round(
+            shard_fn, list(shards), round_name=description, params=params
+        )
+        loads = [result.input_words + result.output_words for result in results]
+        self.parallel_round(
+            description,
+            phase=phase,
+            machine_loads=loads,
+            words_communicated=sum(result.output_words for result in results),
+            messages=len(results),
+        )
+        return [result.output for result in results]
 
     def gather_to_central(
         self,

@@ -236,6 +236,7 @@ def solve(
     trials: int = 1,
     backend: Backend | str | None = None,
     jobs: int | None = None,
+    workers: list[str] | None = None,
     cache: ResultCache | str | None = None,
 ) -> SolveResult:
     """Solve one problem instance with a registered algorithm.
@@ -255,9 +256,10 @@ def solve(
     seed / trials:
         The point's entropy and repetition count (trial ``i`` uses the
         ``i``-th spawned child of ``seed``).
-    backend / jobs / cache:
-        Execution strategy, forwarded to :func:`~repro.backends.run_sweep`.
-        Results are backend-independent by construction.
+    backend / jobs / workers / cache:
+        Execution strategy, forwarded to :func:`~repro.backends.run_sweep`
+        (``workers`` is the ``host:port`` list of the ``"distributed"``
+        backend).  Results are backend-independent by construction.
 
     Returns a :class:`SolveResult`; ``result.canonical_json()`` is
     byte-identical to the ``repro solve`` CLI output and a ``repro serve``
@@ -267,5 +269,7 @@ def solve(
     request = build_request(
         algorithm, scenario=scenario, params=params, seed=seed, trials=trials
     )
-    [result] = run_sweep([request_point(request)], backend=backend, jobs=jobs, cache=cache)
+    [result] = run_sweep(
+        [request_point(request)], backend=backend, jobs=jobs, workers=workers, cache=cache
+    )
     return SolveResult(request=request, records=list(result.records), cached=result.cached)

@@ -122,6 +122,21 @@ class MicroBatcher:
                 self._dispatch_loop(), name="repro-service-batcher"
             )
 
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no request is queued or executing.
+
+        The graceful-shutdown half of :meth:`aclose`: where ``aclose``
+        cancels and fails undelivered submissions, ``drain`` lets them
+        finish.  Returns ``False`` if ``timeout`` elapsed first.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while self.queue_depth() > 0:
+            if deadline is not None and loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
     async def aclose(self) -> None:
         """Cancel the dispatcher and fail any undelivered submissions."""
         self._closing = True

@@ -20,12 +20,22 @@ Routes
     Liveness probe.
 ``GET /algorithms`` / ``GET /scenarios``
     The service's algorithm registry and workload scenario registry.
+
+Worker mode (``repro worker``, ``worker=True``) adds the distributed
+protocol's ``POST /register`` / ``/pull`` / ``/result`` endpoints backed by
+a :class:`~repro.distributed.WorkerState`, and a ``distributed`` section in
+``/metrics``; see :mod:`repro.distributed` and ``docs/DISTRIBUTED.md``.
+
+``repro serve`` and ``repro worker`` shut down gracefully on SIGTERM (and
+SIGINT): the listener closes, in-flight requests and the queued batcher
+work drain, and only then does the process exit.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 import time
 from typing import Any, Mapping
@@ -92,9 +102,18 @@ class SolverService:
         max_queue: int = 1024,
         deadline_ms: float | None = None,
         read_timeout: float = 30.0,
+        worker: bool = False,
     ) -> None:
         self.metrics = ServiceMetrics()
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.worker_state = None
+        if worker:
+            from ..distributed.worker import WorkerState
+
+            self.worker_state = WorkerState(
+                backend=backend, jobs=jobs, cache=self.cache
+            )
+        self._active_requests = 0
         configure_instance_cache(instance_cache)
         self.max_queue = max(0, int(max_queue))
         self.deadline = (
@@ -136,11 +155,23 @@ class SolverService:
                 if method != "POST":
                     raise ServiceError("use POST for /solve", status=405)
                 return await self._solve(body, headers or {})
+            if path in ("/register", "/pull", "/result"):
+                if self.worker_state is None:
+                    raise ServiceError(
+                        f"{path} needs worker mode; start this service with "
+                        "`repro worker`",
+                        status=404,
+                    )
+                if method != "POST":
+                    raise ServiceError(f"use POST for {path}", status=405)
+                return await self._worker_call(path, body)
             if method != "GET":
                 raise ServiceError(f"use GET for {path}", status=405)
             if path == "/metrics":
                 payload = self.metrics.snapshot()
                 payload["batcher"] = self.batcher.stats()
+                if self.worker_state is not None:
+                    payload["distributed"] = self.worker_state.stats()
                 return 200, _JSON, _dumps(payload)
             if path == "/healthz":
                 return 200, _JSON, _dumps({"status": "ok"})
@@ -225,6 +256,40 @@ class SolverService:
         headers_out = _JSON + [("X-Repro-Cache", "hit" if result.cached else "miss")]
         return 200, headers_out, payload
 
+    async def _worker_call(
+        self, path: str, body: bytes
+    ) -> tuple[int, list[tuple[str, str]], bytes]:
+        """One distributed-protocol call against this worker's state."""
+        from ..distributed.protocol import WorkerProtocolError
+
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError:
+            raise ServiceError("request body must be JSON") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        state = self.worker_state
+        sweep = payload.get("sweep")
+        loop = asyncio.get_running_loop()
+        try:
+            if path == "/register":
+                result = state.register(sweep)
+            elif path == "/pull":
+                points = payload.get("points")
+                if not isinstance(points, list):
+                    raise ServiceError("'points' must be a list")
+                # Decoding imports experiment modules on first use — keep
+                # that off the event loop like /solve's request parsing.
+                result = await loop.run_in_executor(None, state.pull, sweep, points)
+            else:
+                acked = payload.get("acked") or []
+                if not isinstance(acked, list):
+                    raise ServiceError("'acked' must be a list")
+                result = await loop.run_in_executor(None, state.collect, sweep, acked)
+        except WorkerProtocolError as exc:
+            raise ServiceError(str(exc)) from exc
+        return 200, _JSON, _dumps(result)
+
     # ------------------------------------------------------------------ #
     # HTTP plumbing
     # ------------------------------------------------------------------ #
@@ -258,10 +323,17 @@ class SolverService:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, extra, payload = await self.handle(method, path, body, headers)
-                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                writer.write(_render_http(status, extra, payload, keep_alive))
-                await writer.drain()
+                # Count the request while it is being answered (not while
+                # the keep-alive connection idles on a read) so graceful
+                # shutdown can wait for exactly the in-flight work.
+                self._active_requests += 1
+                try:
+                    status, extra, payload = await self.handle(method, path, body, headers)
+                    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                    writer.write(_render_http(status, extra, payload, keep_alive))
+                    await writer.drain()
+                finally:
+                    self._active_requests -= 1
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.LimitOverrunError):
@@ -281,9 +353,37 @@ class SolverService:
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
         """Bind the server and start the batcher; returns the asyncio server."""
         self.batcher.start()
+        if self.worker_state is not None:
+            self.worker_state.start()
         return await asyncio.start_server(self._handle_connection, host, port)
 
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Finish in-flight requests and queued work (graceful shutdown).
+
+        Waits for every request currently being answered, everything the
+        batcher has queued or executing, and — in worker mode — every
+        pulled point still in the worker queue.  Idle keep-alive
+        connections do not count as in-flight.  Returns ``False`` if the
+        timeout elapsed with work still outstanding.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        while self._active_requests > 0 or self.batcher.queue_depth() > 0:
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        if self.worker_state is not None:
+            remaining = max(0.05, deadline - loop.time())
+            return await loop.run_in_executor(
+                None, self.worker_state.drain, remaining
+            )
+        return True
+
     async def aclose(self) -> None:
+        if self.worker_state is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.worker_state.close
+            )
         await self.batcher.aclose()
 
 
@@ -411,7 +511,10 @@ class ServiceHandle:
 
     def stop(self) -> None:
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed: stop() is idempotent
         self._thread.join(timeout=30)
 
     def __enter__(self) -> "ServiceHandle":
@@ -426,22 +529,56 @@ def start_in_background(host: str = "127.0.0.1", **service_kwargs: Any) -> Servi
     return ServiceHandle(SolverService(**service_kwargs), host)
 
 
-async def _serve_async(service: SolverService, host: str, port: int) -> None:
+async def _serve_async(
+    service: SolverService, host: str, port: int, *, drain_timeout: float = 30.0
+) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    handled: list[int] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            handled.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # No signal support here (Windows loop, non-main thread):
+            # KeyboardInterrupt handling in serve() still applies.
+            pass
     server = await service.start(host, port)
     bound = server.sockets[0].getsockname()
-    print(f"repro service listening on http://{bound[0]}:{bound[1]}", flush=True)
+    label = "worker" if service.worker_state is not None else "service"
+    print(f"repro {label} listening on http://{bound[0]}:{bound[1]}", flush=True)
     try:
         async with server:
-            await server.serve_forever()
+            await stop.wait()
+            # Graceful shutdown: stop accepting, let in-flight requests and
+            # queued work finish, then fall through to aclose().
+            server.close()
+            print(f"repro {label} draining", flush=True)
+            drained = await service.drain(timeout=drain_timeout)
+            state = "drained" if drained else "drain timed out"
+            print(f"repro {label} {state}; stopped", flush=True)
     finally:
+        for sig in handled:
+            loop.remove_signal_handler(sig)
         await service.aclose()
 
 
-def serve(host: str = "127.0.0.1", port: int = 8080, **service_kwargs: Any) -> int:
-    """Blocking entry point used by ``repro serve``; returns an exit code."""
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    drain_timeout: float = 30.0,
+    **service_kwargs: Any,
+) -> int:
+    """Blocking entry point used by ``repro serve``; returns an exit code.
+
+    SIGTERM and SIGINT trigger a graceful shutdown: the listener closes,
+    in-flight requests and queued batcher (and worker) work drain for up to
+    ``drain_timeout`` seconds, then the process exits 0.
+    """
     service = SolverService(**service_kwargs)
     try:
-        asyncio.run(_serve_async(service, host, port))
+        asyncio.run(_serve_async(service, host, port, drain_timeout=drain_timeout))
     except KeyboardInterrupt:
         print("repro service stopped", flush=True)
     return 0

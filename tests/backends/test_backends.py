@@ -82,6 +82,10 @@ class TestDeterminismAcrossBackends:
         points = _toy_points(6, trials=2)
         reference = _metric_values(SerialBackend().run(points))
         for name in BACKENDS:
+            if name == "distributed":
+                # Needs live worker processes; the same identity contract is
+                # pinned down in tests/distributed/test_coordinator.py.
+                continue
             backend = get_backend(name, jobs=2 if name == "mp" else None)
             assert _metric_values(backend.run(points)) == reference, name
 

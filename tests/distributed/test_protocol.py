@@ -1,0 +1,138 @@
+"""Wire-format tests: points and results must survive transport *checked*.
+
+The protocol layer is the part of the distributed backend that decides
+whether a sweep can be distributed at all — functions travel by import
+path, kwargs by JSON, results as canonical ResultCache payloads.  These
+tests pin down that the encoding is verified (a non-transportable point
+fails at dispatch, never silently on a worker) and exact (records
+round-trip byte-identically, including float64 metrics).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends.base import SweepPoint, execute_point, point_signature
+from repro.backends.cache import record_to_payload
+from repro.distributed.protocol import (
+    WorkerProtocolError,
+    callable_path,
+    decode_point,
+    decode_records,
+    encode_point,
+    encode_records,
+    payload_words,
+    point_key,
+    resolve_callable,
+)
+from repro.experiments.harness import ExperimentRecord
+
+
+def sample_point_fn(rng: np.random.Generator, *, scale: float = 1.0) -> ExperimentRecord:
+    """Module-level experiment used as the transportable reference."""
+    return ExperimentRecord("proto", metrics={"value": scale * float(rng.random())})
+
+
+class TestCallablePath:
+    def test_round_trips_module_level_functions(self):
+        path = callable_path(sample_point_fn)
+        assert path == f"{__name__}.sample_point_fn"
+        assert resolve_callable(path) is sample_point_fn
+
+    def test_resolves_paths_through_class_qualnames(self):
+        from repro.distributed.coordinator import Coordinator
+
+        path = callable_path(Coordinator.run)
+        assert path == "repro.distributed.coordinator.Coordinator.run"
+        assert resolve_callable(path) is Coordinator.run
+
+    def test_rejects_lambdas_and_closures(self):
+        with pytest.raises(WorkerProtocolError):
+            callable_path(lambda rng: None)
+
+        def local(rng):
+            return None
+
+        with pytest.raises(WorkerProtocolError):
+            callable_path(local)
+
+    def test_resolve_rejects_unknown_names(self):
+        with pytest.raises(WorkerProtocolError):
+            resolve_callable("repro.distributed.protocol.no_such_function")
+        with pytest.raises(WorkerProtocolError):
+            resolve_callable("no_such_module_xyz.fn")
+        with pytest.raises(WorkerProtocolError):
+            resolve_callable("repro.distributed.protocol.__all__")  # non-callable
+
+
+class TestPointEncoding:
+    def test_encode_decode_preserves_signature_and_digest(self):
+        point = SweepPoint("proto", sample_point_fn, {"scale": 2.0}, seed=(3, 1), trials=2)
+        payload = encode_point(point)
+        assert json.loads(json.dumps(payload)) == payload  # JSON-clean
+        decoded = decode_point(payload)
+        assert point_signature(decoded) == point_signature(point)
+        assert point_key(decoded) == point_key(point)
+        assert decoded.seed == (3, 1) and decoded.trials == 2
+
+    def test_decoded_point_executes_identically(self):
+        point = SweepPoint("proto", sample_point_fn, {"scale": 0.5}, seed=11, trials=3)
+        original = execute_point(point)
+        decoded = execute_point(decode_point(encode_point(point)))
+        assert [record_to_payload(r) for r in original.records] == [
+            record_to_payload(r) for r in decoded.records
+        ]
+
+    def test_non_json_kwargs_fail_at_dispatch(self):
+        point = SweepPoint("proto", sample_point_fn, {"scale": float("nan")}, seed=0)
+        with pytest.raises(WorkerProtocolError):
+            encode_point(point)
+        point = SweepPoint("proto", sample_point_fn, {"scale": object()}, seed=0)
+        with pytest.raises(WorkerProtocolError):
+            encode_point(point)
+
+    def test_lambda_points_fail_at_dispatch(self):
+        point = SweepPoint("proto", lambda rng: None, {}, seed=0)
+        with pytest.raises(WorkerProtocolError):
+            encode_point(point)
+
+    def test_malformed_payload_raises_protocol_error(self):
+        with pytest.raises(WorkerProtocolError):
+            decode_point({"experiment": "x"})  # no fn
+        with pytest.raises(WorkerProtocolError):
+            decode_point(
+                {"experiment": "x", "fn": f"{__name__}.sample_point_fn", "trials": "many"}
+            )
+
+
+class TestRecordEncoding:
+    def test_records_round_trip_exactly(self):
+        point = SweepPoint("proto", sample_point_fn, {"scale": 1e-7}, seed=5, trials=4)
+        records = execute_point(point).records
+        decoded = decode_records(encode_records(records))
+        assert [record_to_payload(r) for r in decoded] == [
+            record_to_payload(r) for r in records
+        ]
+        # float64 exactness, not approximation:
+        assert [r.metrics["value"] for r in decoded] == [
+            r.metrics["value"] for r in records
+        ]
+
+    def test_malformed_result_payload_raises(self):
+        with pytest.raises(WorkerProtocolError):
+            decode_records([{"not": "a record"}])
+
+
+class TestPayloadWords:
+    def test_counts_canonical_json_bytes_in_words(self):
+        value = {"k": [1, 2, 3]}
+        encoded = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        expected = -(-len(encoded.encode()) // 8)
+        assert payload_words(value) == expected
+
+    def test_minimum_is_one_word(self):
+        assert payload_words(0) == 1
+        assert payload_words("") == 1

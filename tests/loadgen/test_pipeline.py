@@ -1,0 +1,125 @@
+"""HTTP/1.1 pipelining in the load harness must change *nothing* but timing.
+
+The flag-gated pipelined client (``ReplayConfig.pipeline > 1``) keeps
+several requests in flight per connection and matches responses to
+requests purely by FIFO order.  That ordering assumption is only safe if
+every response is byte-identical to what the one-at-a-time client would
+have read — which is exactly what these tests pin down, using the
+harness's own golden verification (every 200 body compared against the
+direct library call).
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+
+import pytest
+
+from repro.loadgen.runner import _PipelinedConnection, run_replay
+from repro.loadgen.traces import ReplayConfig, default_bodies, poisson_trace
+from repro.service.server import start_in_background
+
+
+def _trace(seed: int = 7):
+    bodies = default_bodies(n=36, distinct=3)
+    return poisson_trace(rate=60.0, duration=0.5, bodies=bodies, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with start_in_background(backend="serial", adaptive=False) as handle:
+        yield handle
+
+
+class TestPipelineByteIdentity:
+    def test_pipelined_replay_matches_goldens(self, server):
+        """pipeline=4: every 200 body must equal the direct library call."""
+        config = ReplayConfig(connections=2, verify=True, pipeline=4)
+        report = run_replay(
+            _trace(), url=f"http://127.0.0.1:{server.port}", config=config
+        )
+        assert report.transport_errors == 0
+        assert report.golden_mismatches == 0
+        assert report.ok == report.sent
+
+    def test_pipelined_and_serial_replays_agree(self, server):
+        """Same trace, pipeline off vs on: same statuses, both fully verified."""
+        url = f"http://127.0.0.1:{server.port}"
+        plain = run_replay(
+            _trace(), url=url, config=ReplayConfig(connections=2, verify=True)
+        )
+        piped = run_replay(
+            _trace(),
+            url=url,
+            config=ReplayConfig(connections=2, verify=True, pipeline=8),
+        )
+        assert plain.transport_errors == piped.transport_errors == 0
+        assert plain.golden_mismatches == piped.golden_mismatches == 0
+        assert plain.status_counts == piped.status_counts
+        assert plain.sent == piped.sent == len(_trace())
+
+    def test_pipeline_one_is_the_default_path(self, server):
+        """pipeline=1 must behave exactly like the pre-existing client."""
+        config = ReplayConfig(connections=2, verify=True, pipeline=1)
+        report = run_replay(
+            _trace(seed=11), url=f"http://127.0.0.1:{server.port}", config=config
+        )
+        assert report.golden_mismatches == 0
+        assert report.ok == report.sent == len(_trace(seed=11))
+
+
+class TestPipelinedConnection:
+    def test_responses_come_back_in_request_order(self, server):
+        """Send a burst of distinct requests before reading any response."""
+        import json
+
+        from repro.service import parse_solve_request, solve_direct
+
+        bodies = [
+            {"algorithm": "mis", "params": {"n": 36, "c": 0.35}, "seed": seed}
+            for seed in range(5)
+        ]
+        goldens = [solve_direct(parse_solve_request(body)) for body in bodies]
+        conn = _PipelinedConnection("127.0.0.1", server.port, timeout=60.0)
+        try:
+            for body in bodies:
+                conn.send(json.dumps(body).encode("utf-8"))
+            for golden in goldens:
+                status, payload = conn.read_response()
+                assert status == 200
+                assert payload == golden
+        finally:
+            conn.close()
+
+    def test_truncated_response_raises_http_exception(self):
+        """A server that closes mid-body must surface as HTTPException."""
+        ready = threading.Event()
+        holder = {}
+
+        def half_server():
+            import socket
+
+            with socket.socket() as listener:
+                listener.bind(("127.0.0.1", 0))
+                listener.listen(1)
+                holder["port"] = listener.getsockname()[1]
+                ready.set()
+                sock, _ = listener.accept()
+                with sock:
+                    sock.recv(65536)
+                    sock.sendall(
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"
+                    )
+
+        thread = threading.Thread(target=half_server, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        conn = _PipelinedConnection("127.0.0.1", holder["port"], timeout=10.0)
+        try:
+            conn.send(b"{}")
+            with pytest.raises(http.client.HTTPException):
+                conn.read_response()
+        finally:
+            conn.close()
+        thread.join(10)

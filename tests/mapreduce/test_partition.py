@@ -122,6 +122,59 @@ class TestHashPartition:
         assert hash_partition([], 4).size == 0
 
 
+class TestEdgeCases:
+    """Degenerate shapes the distributed layer actually produces."""
+
+    def test_empty_shards_on_every_strategy(self, rng):
+        for assign in (
+            balanced_partition(0, 3),
+            random_partition(0, 3, rng),
+            hash_partition([], 3),
+        ):
+            assert assign.size == 0
+            counts = partition_counts(assign, 3)
+            np.testing.assert_array_equal(counts, [0, 0, 0])
+
+    def test_single_machine_cluster_gets_everything(self, rng):
+        for assign in (
+            balanced_partition(9, 1),
+            random_partition(9, 1, rng),
+            hash_partition(np.arange(9), 1),
+        ):
+            np.testing.assert_array_equal(assign, np.zeros(9, dtype=np.int64))
+        np.testing.assert_array_equal(partition_counts(balanced_partition(9, 1), 1), [9])
+
+    def test_more_machines_than_items_leaves_empty_machines(self, rng):
+        counts = partition_counts(balanced_partition(3, 8), 8)
+        assert counts.sum() == 3
+        assert counts.max() <= 1  # never stacks items while machines sit idle
+        assert (counts == 0).sum() == 5
+        counts = partition_counts(random_partition(2, 8, rng), 8)
+        assert counts.sum() == 2 and counts.max() <= 2
+
+    def test_balanced_blocks_are_contiguous(self):
+        # The coordinator's initial sharding relies on contiguity: a
+        # machine's shard is a slice of the input order, never interleaved.
+        assign = balanced_partition(11, 4)
+        for machine in range(4):
+            (where,) = np.nonzero(assign == machine)
+            if where.size:
+                assert where.max() - where.min() + 1 == where.size
+
+    def test_partition_counts_pads_to_num_machines(self):
+        counts = partition_counts(np.array([0, 0, 1], dtype=np.int64), 5)
+        np.testing.assert_array_equal(counts, [2, 1, 0, 0, 0])
+        counts = partition_counts(np.empty(0, dtype=np.int64), 4)
+        np.testing.assert_array_equal(counts, [0, 0, 0, 0])
+
+    def test_num_machines_for_degenerate_inputs(self):
+        assert num_machines_for(0, 1) == 1
+        assert num_machines_for(1, 10**9) == 1
+        assert num_machines_for(10**9, 1) == 10**9
+        with pytest.raises(ValueError):
+            num_machines_for(5, -1)
+
+
 class TestPartitionProperties:
     """Property-style invariants over many (num_items, num_machines) shapes."""
 
