@@ -1,0 +1,77 @@
+"""The committed baseline: pre-existing findings that must not grow.
+
+``lint-baseline.json`` maps :meth:`Finding.baseline_key` → count.  Keys
+fingerprint the offending *source line text*, not its number, so edits
+elsewhere in a file leave the baseline valid while any change to the
+flagged line itself surfaces the finding again for a fresh decision.
+
+The file is written canonically (sorted keys, fixed separators, trailing
+newline) so regenerating it on an unchanged tree is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding, FindingStatus
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Mutable matcher over the committed baseline entries."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    def consume(self, finding: Finding) -> bool:
+        """Mark ``finding`` baselined if an unconsumed entry matches it.
+
+        Counts make duplicate findings on one line (or identical lines in
+        one file) each need their own baseline slot.
+        """
+        key = finding.baseline_key()
+        remaining = self.entries.get(key, 0)
+        if remaining <= 0:
+            return False
+        self.entries[key] = remaining - 1
+        finding.status = FindingStatus.BASELINED
+        return True
+
+    def unused(self) -> dict[str, int]:
+        """Entries never matched this run — stale debt worth deleting."""
+        return {key: count for key, count in self.entries.items() if count > 0}
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    file = Path(path)
+    if not file.exists():
+        return Baseline()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != _VERSION:
+        raise ValueError(f"unsupported baseline version {version!r} in {file} (expected {_VERSION})")
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {file} has a non-object 'entries' field")
+    return Baseline(entries={str(k): int(v) for k, v in entries.items()})
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> Baseline:
+    """Write every non-suppressed finding as the new baseline."""
+    entries: dict[str, int] = {}
+    for finding in findings:
+        if finding.status is FindingStatus.SUPPRESSED:
+            continue
+        key = finding.baseline_key()
+        entries[key] = entries.get(key, 0) + 1
+    payload = {"version": _VERSION, "entries": entries}
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+    return Baseline(entries=dict(entries))

@@ -1,0 +1,5 @@
+"""Checker implementations; importing this package registers them all."""
+
+from . import concurrency, determinism, registry_conformance  # noqa: F401
+
+__all__ = ["concurrency", "determinism", "registry_conformance"]

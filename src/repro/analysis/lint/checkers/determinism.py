@@ -1,0 +1,292 @@
+"""DET001–DET004: the determinism checkers.
+
+Each one rejects a pattern that has historically broken the repo's
+byte-identity contract: global RNG state, non-canonical JSON on wire
+paths, order-leaking set iteration, and wall-clock reads inside the
+algorithmic tier.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Checker, ModuleContext, parent_map, register_checker
+from ._imports import build_import_map, resolve_call_target
+
+#: ``random`` module functions that mutate/read the hidden global state.
+_PY_GLOBAL_RNG = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* the legacy global-state API.
+_NP_ALLOWED = frozenset(
+    {
+        "BitGenerator", "Generator", "MT19937", "PCG64", "PCG64DXSM",
+        "Philox", "RandomState", "SFC64", "SeedSequence", "default_rng",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Builtins whose result does not depend on argument iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
+)
+
+
+@register_checker
+class UnseededGlobalRNG(Checker):
+    """DET001 — ``random.*`` / ``np.random.*`` global state in solver code.
+
+    Global RNG state is shared across every caller in the process: a
+    library import, a logging helper, or a second sweep point drawing
+    from it reorders everyone else's stream, so results stop being a
+    function of the per-point seed.  Solvers must accept a seeded
+    ``numpy.random.Generator`` (or ``random.Random``) instead.
+    """
+
+    code = "DET001"
+    name = "unseeded-global-rng"
+    description = "global RNG state reachable from solver/kernel/backend code"
+    scopes = frozenset({"deterministic"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target is None:
+                continue
+            if target.startswith("random.") and target.rpartition(".")[2] in _PY_GLOBAL_RNG:
+                yield ctx.finding(
+                    self.code,
+                    f"call to global-state RNG '{target}' — thread a seeded "
+                    "random.Random / numpy Generator through instead",
+                    node,
+                )
+            elif target.startswith("numpy.random."):
+                attr = target[len("numpy.random.") :]
+                if "." not in attr and attr not in _NP_ALLOWED:
+                    yield ctx.finding(
+                        self.code,
+                        f"call to legacy global-state RNG 'numpy.random.{attr}' — "
+                        "use numpy.random.default_rng(seed) and pass the Generator",
+                        node,
+                    )
+
+
+def _const_true(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _canonical_separators(node: ast.expr) -> bool:
+    return (
+        isinstance(node, (ast.Tuple, ast.List))
+        and len(node.elts) == 2
+        and all(isinstance(e, ast.Constant) for e in node.elts)
+        and [e.value for e in node.elts] in ([",", ":"], [", ", ": "])
+    )
+
+
+@register_checker
+class NonCanonicalJSON(Checker):
+    """DET002 — ``json.dumps`` on a canonical path without ``sort_keys=True``.
+
+    Wire payloads, cache signatures, and CLI JSON are byte-compared
+    across backends and surfaces; an unsorted dump ties the bytes to
+    dict construction order, and a ``default=`` hook silently coerces
+    unencodable values (``default=str`` turns an ``np.int64`` into a
+    string) so drift hides until two surfaces disagree.
+    """
+
+    code = "DET002"
+    name = "non-canonical-json"
+    description = "json.dumps without sort_keys/canonical separators on a wire path"
+    scopes = frozenset({"canonical"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target not in ("json.dumps", "json.dump"):
+                continue
+            keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+            has_kwargs = any(kw.arg is None for kw in node.keywords)
+            if not _const_true(keywords.get("sort_keys")) and not has_kwargs:
+                yield ctx.finding(
+                    self.code,
+                    f"{target} on a canonical path without sort_keys=True — "
+                    "output bytes depend on dict construction order",
+                    node,
+                )
+            if "default" in keywords:
+                yield ctx.finding(
+                    self.code,
+                    f"{target} with a default= encoder on a canonical path — "
+                    "lossy coercion (e.g. default=str) hides type drift; "
+                    "normalise values explicitly before encoding",
+                    node,
+                )
+            separators = keywords.get("separators")
+            if separators is not None and not _canonical_separators(separators):
+                yield ctx.finding(
+                    self.code,
+                    f"{target} with non-canonical separators — use (',', ':') "
+                    "compact or the default",
+                    node,
+                )
+
+
+def _is_setlike(node: ast.expr, setlike_names: frozenset[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return isinstance(node, ast.Name) and node.id in setlike_names
+
+
+def _setlike_names(tree: ast.Module) -> frozenset[str]:
+    """Names only ever assigned set-typed expressions (conservative)."""
+    setlike: set[str] = set()
+    other: set[str] = set()
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, (ast.For, ast.AugAssign)):
+            # A for-target or augmented assignment makes the binding's
+            # type unknowable here; treat the name as non-set.
+            target = node.target
+            if isinstance(target, ast.Name):
+                other.add(target.id)
+            continue
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if _is_setlike(value, frozenset()):
+                    setlike.add(target.id)
+                else:
+                    other.add(target.id)
+    return frozenset(setlike - other)
+
+
+@register_checker
+class SetIterationOrder(Checker):
+    """DET003 — iterating a ``set`` where the order can escape.
+
+    Python set iteration order depends on insertion history and element
+    hashes (salted for str); a set-ordered loop writing into records,
+    shard lists, or cache keys makes output bytes vary run to run.
+    Order-insensitive consumers (``sorted``, ``sum``, ``min``/``max``,
+    ``any``/``all``, ``len``, set-to-set comprehension) are exempt.
+    """
+
+    code = "DET003"
+    name = "set-iteration-order"
+    description = "set iteration whose order can escape into outputs"
+    scopes = frozenset({"deterministic"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parents = parent_map(ctx.tree)
+        setlike = _setlike_names(ctx.tree)
+        message = (
+            "iteration over a set has nondeterministic order — iterate "
+            "sorted(...) or an ordered container before the order can escape"
+        )
+
+        def consumer_is_order_insensitive(node: ast.AST) -> bool:
+            parent = parents.get(node)
+            return (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE
+                and node in parent.args
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_setlike(node.iter, setlike):
+                yield ctx.finding(self.code, message, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if isinstance(node, ast.GeneratorExp) and consumer_is_order_insensitive(node):
+                    continue
+                for generator in node.generators:
+                    if _is_setlike(generator.iter, setlike):
+                        yield ctx.finding(self.code, message, generator.iter)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                ordered_builtin = (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple", "enumerate")
+                )
+                join = isinstance(func, ast.Attribute) and func.attr == "join"
+                if (ordered_builtin or join) and node.args and _is_setlike(
+                    node.args[0], setlike
+                ):
+                    yield ctx.finding(self.code, message, node.args[0])
+
+
+@register_checker
+class WallClockInSolver(Checker):
+    """DET004 — wall-clock reads inside solver/mapreduce/kernel modules.
+
+    ``time.time()`` / ``datetime.now()`` inside the algorithmic tier
+    either leaks machine time into records (breaking byte-identity) or
+    couples control flow to machine speed (breaking replay).  Timing
+    belongs to the harness/bench layer, which injects its own clocks;
+    monotonic *measurement* clocks (``perf_counter``) are not flagged.
+    """
+
+    code = "DET004"
+    name = "wall-clock-in-solver"
+    description = "wall-clock call inside a deterministic module"
+    scopes = frozenset({"clockfree"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target in _WALL_CLOCK:
+                yield ctx.finding(
+                    self.code,
+                    f"wall-clock read '{target}' inside a deterministic module — "
+                    "inject a clock (or move timing to the harness layer)",
+                    node,
+                )
+
+
+__all__ = [
+    "NonCanonicalJSON",
+    "SetIterationOrder",
+    "UnseededGlobalRNG",
+    "WallClockInSolver",
+]

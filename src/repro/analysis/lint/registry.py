@@ -1,0 +1,108 @@
+"""Checker registry and the per-module context checkers run against."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Type
+
+from .findings import Finding
+
+__all__ = [
+    "Checker",
+    "ModuleContext",
+    "all_checkers",
+    "get_checker",
+    "register_checker",
+]
+
+
+@dataclass
+class ModuleContext:
+    """Everything one checker needs to examine one parsed module."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    scopes: frozenset[str]
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of a 1-indexed line ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, code: str, message: str, node: ast.AST) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            code=code,
+            message=message,
+            path=self.relpath,
+            line=line,
+            column=column,
+            snippet=self.snippet(line),
+        )
+
+
+class Checker:
+    """Base class: subclass, set the class attributes, yield findings.
+
+    ``scopes`` limits where the checker runs: ``None`` means every file;
+    otherwise the file must carry at least one of the named scopes.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    scopes: frozenset[str] | None = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def applies(self, scopes: frozenset[str]) -> bool:
+        return self.scopes is None or bool(self.scopes & scopes)
+
+
+_CHECKERS: dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the registry (code must be unique)."""
+    if not cls.code:
+        raise ValueError(f"checker {cls.__name__} declares no code")
+    existing = _CHECKERS.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"checker code {cls.code!r} already registered by {existing.__name__}")
+    _CHECKERS[cls.code] = cls
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """One instance of every registered checker, sorted by code."""
+    return [_CHECKERS[code]() for code in sorted(_CHECKERS)]
+
+
+def get_checker(code: str) -> Checker:
+    try:
+        return _CHECKERS[code]()
+    except KeyError:
+        raise KeyError(f"unknown checker {code!r}; known: {sorted(_CHECKERS)}") from None
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child → parent for every node (several checkers need ancestry)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+CheckFn = Callable[[ModuleContext], Iterator[Finding]]

@@ -1,0 +1,159 @@
+"""Walk paths, parse modules, run checkers, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline
+from .findings import Finding, FindingStatus
+from .registry import Checker, ModuleContext, all_checkers
+from .scopes import classify, scope_override
+from .suppressions import parse_suppressions
+
+__all__ = ["LintReport", "lint_paths", "lint_source"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", ".eggs"})
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run.
+
+    ``findings`` holds every finding with its disposition; ``new`` is the
+    gate — a run is clean iff ``new`` is empty (exit code 0).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    stale_baseline: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def new(self) -> list[Finding]:
+        return [f for f in self.findings if f.status is FindingStatus.NEW]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.status is FindingStatus.SUPPRESSED]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.status is FindingStatus.BASELINED]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.parse_errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def counts(self) -> dict[str, int]:
+        """Per-code counts of *new* findings (deterministic ordering)."""
+        counts: dict[str, int] = {}
+        for finding in self.new:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _iter_python_files(paths: Sequence[str | Path], root: Path) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while preserving deterministic sorted order.
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for file in sorted(files):
+        if file not in seen:
+            seen.add(file)
+            unique.append(file)
+    return unique
+
+
+def _relpath(file: Path, root: Path) -> str:
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    *,
+    checkers: Sequence[Checker] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory module; suppressions applied, no baseline.
+
+    The building block the path runner and the fixture tests share.
+    Raises :class:`SyntaxError` on unparsable source.
+    """
+    tree = ast.parse(source, filename=relpath)
+    scopes = scope_override(source)
+    if scopes is None:
+        scopes = classify(relpath)
+    ctx = ModuleContext(relpath=relpath, source=source, tree=tree, scopes=scopes)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for checker in checkers if checkers is not None else all_checkers():
+        if not checker.applies(scopes):
+            continue
+        for finding in checker.check(ctx):
+            if suppressions.matches(finding):
+                finding.status = FindingStatus.SUPPRESSED
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    root: str | Path | None = None,
+    baseline: Baseline | None = None,
+    checkers: Sequence[Checker] | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and assemble a report.
+
+    ``root`` anchors the relative paths recorded in findings (defaults to
+    the current directory), which is what makes the committed baseline
+    and the JSON report stable across machines.
+    """
+    anchor = Path(root) if root is not None else Path.cwd()
+    report = LintReport()
+    instances = list(checkers) if checkers is not None else all_checkers()
+    for file in _iter_python_files(paths, anchor):
+        relpath = _relpath(file, anchor)
+        try:
+            source = file.read_text(encoding="utf-8")
+            findings = lint_source(source, relpath, checkers=instances)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        report.files_scanned += 1
+        report.findings.extend(findings)
+    if baseline is not None:
+        for finding in report.findings:
+            if finding.status is FindingStatus.NEW:
+                baseline.consume(finding)
+        report.stale_baseline = baseline.unused()
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def severity_order(findings: Iterable[Finding]) -> list[Finding]:
+    """Findings sorted for display: new first, then path/line."""
+    rank = {FindingStatus.NEW: 0, FindingStatus.BASELINED: 1, FindingStatus.SUPPRESSED: 2}
+    return sorted(findings, key=lambda f: (rank[f.status], f.sort_key()))

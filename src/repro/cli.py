@@ -397,6 +397,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     algs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & concurrency static analysis (see docs/ANALYSIS.md)",
+        description=(
+            "Run the repro static-analysis pass: AST checkers that prove the "
+            "determinism and lock-discipline invariants the runtime test suite "
+            "can only sample (unseeded RNG, non-canonical JSON on wire paths, "
+            "order-leaking set iteration, wall-clock reads in solvers, "
+            "unlocked shared state, registry conformance).  Exits non-zero on "
+            "any finding not in the committed baseline."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to scan (default: src)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit the canonical JSON report")
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        metavar="FILE",
+        help="baseline file of accepted pre-existing findings "
+        "(default: lint-baseline.json under --root)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file entirely"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding, then exit 0",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="directory findings/baseline paths are relative to (default: cwd)",
+    )
+    lint.add_argument(
+        "--verbose", "-v", action="store_true", help="also list baselined/suppressed findings"
+    )
+
     fig1 = sub.add_parser("figure1", help="run the Figure-1 experiments")
     fig1.add_argument("--seed", type=int, default=2018)
     fig1.add_argument("--trials", type=int, default=1)
@@ -638,19 +683,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _record_to_json(record: ExperimentRecord) -> dict[str, object]:
+    # Values are normalised through the same _jsonable mapping the
+    # library/service canonical path uses — a lossy ``default=str`` here
+    # would stringify e.g. np.int64 metrics and silently drift from the
+    # bytes the other surfaces emit for the same record.
+    from .backends.base import _jsonable
+
     return {
         "experiment": record.experiment,
         "valid": record.valid,
-        "parameters": record.parameters,
-        "metrics": record.metrics,
-        "bounds": record.bounds,
-        "notes": record.notes,
+        "parameters": _jsonable(record.parameters),
+        "metrics": _jsonable(record.metrics),
+        "bounds": _jsonable(record.bounds),
+        "notes": _jsonable(record.notes),
     }
 
 
 def _print_records(records: Sequence[ExperimentRecord], as_json: bool) -> None:
     if as_json:
-        print(json.dumps([_record_to_json(r) for r in records], indent=2, sort_keys=True, default=str))
+        print(json.dumps([_record_to_json(r) for r in records], indent=2, sort_keys=True))
         return
     rows = []
     metric_keys: list[str] = []
@@ -713,12 +764,43 @@ def _run_solve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0 if result.valid else 1
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.lint import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    root = Path(args.root).resolve()
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    baseline = None if args.no_baseline else load_baseline(baseline_path)
+    report = lint_paths(args.paths, root=root, baseline=baseline)
+    if args.update_baseline:
+        updated = write_baseline(report.findings, baseline_path)
+        total = sum(updated.entries.values())
+        print(f"baseline written: {baseline_path} ({total} entries)")
+        return 0
+    print(render_json(report) if args.json else render_text(report, verbose=args.verbose))
+    if report.files_scanned == 0:
+        print("error: no python files found under the given paths", file=sys.stderr)
+        return 2
+    return report.exit_code
+
+
 def _run_algorithms(args: argparse.Namespace) -> int:
     specs = list(iter_algorithms())
     if args.json:
         # Same rendering as the service's GET /algorithms — one source of truth.
         payload = {spec.name: spec.listing_payload() for spec in specs}
-        print(json.dumps(payload, indent=2))
+        # sort_keys keeps this byte-aligned (modulo whitespace) with the
+        # service's GET /algorithms, which renders canonically.
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     rows = [
         [
@@ -759,7 +841,7 @@ def _run_single(args: argparse.Namespace) -> int:
         **_backend_kwargs(args),
     )
     if args.json:
-        print(json.dumps(_record_to_json(record), indent=2, sort_keys=True, default=str))
+        print(json.dumps(_record_to_json(record), indent=2, sort_keys=True))
     else:
         print(f"experiment: {record.experiment}  (valid: {record.valid})")
         print(f"parameters: {record.parameters}")
@@ -793,7 +875,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     )
     write_report(report, args.output or DEFAULT_OUTPUT)
     if args.json:
-        print(json.dumps(report, indent=2))
+        print(json.dumps(report, indent=2, sort_keys=True))
     else:
         rows = [
             [
@@ -877,7 +959,7 @@ def _run_data(args: argparse.Namespace) -> int:
                 {"name": r[0], "kind": r[1], "sized": r[2] == "yes", "description": r[3]}
                 for r in rows
             ]
-            print(json.dumps(payload, indent=2))
+            print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             print(format_table(["scenario", "kind", "sized", "description"], rows))
             print("\nplus 'file:<path>' for any dataset file (raw or converted .npz).")
@@ -887,7 +969,10 @@ def _run_data(args: argparse.Namespace) -> int:
         obj, info = load_file(args.path)
         summary = _dataset_summary(obj)
         if args.json:
-            print(json.dumps({"path": args.path, "info": info, **summary}, indent=2, default=str))
+            from .backends.base import _jsonable
+
+            payload = _jsonable({"path": args.path, "info": info, **summary})
+            print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             rows = [[k, v] for k, v in summary.items()]
             rows += [[f"ingest:{k}", v] for k, v in info.items() if k != "header"]
@@ -1040,6 +1125,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "algorithms":
         return _run_algorithms(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "data":
         try:
             return _run_data(args)

@@ -165,7 +165,9 @@ def encode_point(point: SweepPoint) -> dict[str, Any]:
         "trials": int(point.trials),
     }
     try:
-        payload = json.loads(json.dumps(raw, allow_nan=False))
+        # A validation round-trip, not a wire rendering: the result is
+        # immediately parsed back, so key order never reaches any bytes.
+        payload = json.loads(json.dumps(raw, allow_nan=False))  # repro-lint: disable=DET002
     except (TypeError, ValueError) as exc:
         raise WorkerProtocolError(
             f"point {point.experiment!r} has kwargs that cannot cross the "

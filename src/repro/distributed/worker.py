@@ -86,7 +86,11 @@ class WorkerState:
     # ------------------------------------------------------------------ #
     def start(self) -> None:
         if self._thread is None or not self._thread.is_alive():
-            self._closed = False
+            # ``_closed`` is read by the executor thread under the lock; an
+            # unlocked write here could be reordered/missed by an executor
+            # racing a close() → start() restart.
+            with self._work:
+                self._closed = False
             self._thread = threading.Thread(
                 target=self._run, name="repro-worker-executor", daemon=True
             )

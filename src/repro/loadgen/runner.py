@@ -343,9 +343,10 @@ class Runner:
         if self._goldens is not None:
             report.golden_mismatches = 0
         for request in prepared.requests:
-            self._work.put(
-                (request.at, json.dumps(request.body), _canonical(request.body))
-            )
+            # The wire body is the canonical rendering too: one encoding to
+            # build, and what goes over the socket is exactly the golden key.
+            canonical = _canonical(request.body)
+            self._work.put((request.at, canonical, canonical))
         workers = [_Worker(self) for _ in range(max(1, self.config.connections))]
         before = self.fetch_metrics()
         started = time.monotonic()

@@ -199,7 +199,9 @@ def triangle_count_job(ctx: MPCContext, graph) -> int:
         (int(min(u, v)), int(max(u, v)))
         for u, v in zip(graph.edge_u, graph.edge_v)
     }
-    records: list[KeyValue] = [(u, v) for (u, v) in edge_set]
+    # Sorted, not set-ordered: the record sequence feeds the round (and its
+    # measured load accounting), so it must not depend on set iteration.
+    records: list[KeyValue] = sorted(edge_set)
 
     def wedge_mapper(u: Any, v: Any) -> Iterable[KeyValue]:
         yield int(u), int(v)

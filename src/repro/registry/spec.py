@@ -366,12 +366,12 @@ class DeprecatedMapping(MappingABC):
     :class:`DeprecationWarning` points them at the registry.
     """
 
-    def __init__(self, name: str, build: Callable[[], dict], hint: str) -> None:
+    def __init__(self, name: str, build: Callable[[], dict[str, Any]], hint: str) -> None:
         self._name = name
         self._build = build
         self._hint = hint
 
-    def _mapping(self) -> dict:
+    def _mapping(self) -> dict[str, Any]:
         # The default warning filter de-duplicates the display per call
         # site, so legacy loops do not spam; tests recording with
         # ``simplefilter("always")`` still see every emission.

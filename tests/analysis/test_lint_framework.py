@@ -1,0 +1,183 @@
+"""Framework-level tests: scopes, suppressions, baseline, runner, reporters."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    all_checkers,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.lint.findings import Finding, FindingStatus
+from repro.analysis.lint.scopes import classify, module_tail, scope_override
+from repro.analysis.lint.suppressions import parse_suppressions
+
+RACY = textwrap.dedent(
+    """
+    # repro-lint: scope=threaded
+    _CACHE = {}
+
+    def put(key, value):
+        _CACHE[key] = value
+    """
+)
+
+
+class TestScopes:
+    def test_module_tail_strips_package_prefix(self):
+        assert module_tail("src/repro/service/metrics.py") == "service/metrics.py"
+        assert module_tail("repro/core/results.py") == "core/results.py"
+        assert module_tail("core/snippet.py") == "core/snippet.py"
+
+    def test_real_tree_classification(self):
+        assert "deterministic" in classify("src/repro/core/local_ratio/matching.py")
+        assert "clockfree" in classify("src/repro/kernels/mis.py")
+        assert "canonical" in classify("src/repro/cli.py")
+        assert "canonical" in classify("src/repro/distributed/protocol.py")
+        assert "threaded" in classify("src/repro/service/batcher.py")
+        # The harness/bench layer measures wall-clock on purpose.
+        assert "clockfree" not in classify("src/repro/experiments/harness.py")
+        assert classify("src/repro/analysis/lint/runner.py") == frozenset()
+
+    def test_scope_override_comment(self):
+        assert scope_override("# repro-lint: scope=canonical,threaded\nx = 1\n") == {
+            "canonical",
+            "threaded",
+        }
+        assert scope_override("x = 1\n") is None
+        with pytest.raises(ValueError, match="unknown lint scope"):
+            scope_override("# repro-lint: scope=wibble\n")
+
+    def test_every_checker_declares_valid_scopes(self):
+        from repro.analysis.lint.scopes import ALL_SCOPES
+
+        checkers = all_checkers()
+        assert [c.code for c in checkers] == sorted(c.code for c in checkers)
+        assert len(checkers) >= 6
+        for checker in checkers:
+            assert checker.code and checker.description
+            if checker.scopes is not None:
+                assert checker.scopes <= ALL_SCOPES
+
+
+class TestSuppressions:
+    def test_line_and_file_directives(self):
+        source = textwrap.dedent(
+            """
+            # repro-lint: disable-file=DET004
+            import json
+
+            def f(p):
+                return json.dumps(p)  # repro-lint: disable=DET002, DET003
+            """
+        )
+        sup = parse_suppressions(source)
+        assert sup.whole_file == {"DET004"}
+        assert sup.by_line[6] == {"DET002", "DET003"}
+
+    def test_marker_inside_string_is_inert(self):
+        sup = parse_suppressions('text = "# repro-lint: disable=DET001"\n')
+        assert not sup.by_line and not sup.whole_file
+
+    def test_disable_all(self):
+        findings = lint_source(
+            "# repro-lint: scope=threaded\n# repro-lint: disable-file=all\n" + RACY.split("\n", 2)[2],
+            "service/mod.py",
+        )
+        assert all(f.status is FindingStatus.SUPPRESSED for f in findings)
+        assert findings, "fixture should still produce (suppressed) findings"
+
+
+class TestBaseline:
+    def test_roundtrip_and_matching(self, tmp_path):
+        target = tmp_path / "service" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(RACY)
+        baseline_file = tmp_path / "lint-baseline.json"
+
+        first = lint_paths([target], root=tmp_path)
+        assert [f.code for f in first.new] == ["CONC001"]
+
+        write_baseline(first.findings, baseline_file)
+        second = lint_paths([target], root=tmp_path, baseline=load_baseline(baseline_file))
+        assert second.new == []
+        assert [f.code for f in second.baselined] == ["CONC001"]
+        assert second.clean and second.exit_code == 0
+
+    def test_baseline_is_line_number_insensitive(self, tmp_path):
+        target = tmp_path / "service" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(RACY)
+        baseline_file = tmp_path / "lint-baseline.json"
+        write_baseline(lint_paths([target], root=tmp_path).findings, baseline_file)
+
+        # Unrelated lines added above the finding: the baseline still holds.
+        target.write_text(RACY.replace("_CACHE = {}", "PAD = 1\nPAD2 = 2\n_CACHE = {}"))
+        report = lint_paths([target], root=tmp_path, baseline=load_baseline(baseline_file))
+        assert report.new == [] and report.baselined
+
+    def test_editing_the_flagged_line_invalidates_the_entry(self, tmp_path):
+        target = tmp_path / "service" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(RACY)
+        baseline_file = tmp_path / "lint-baseline.json"
+        write_baseline(lint_paths([target], root=tmp_path).findings, baseline_file)
+
+        target.write_text(RACY.replace("_CACHE[key] = value", "_CACHE[str(key)] = value"))
+        report = lint_paths([target], root=tmp_path, baseline=load_baseline(baseline_file))
+        assert [f.code for f in report.new] == ["CONC001"]
+        assert report.stale_baseline, "the untouched entry should be reported stale"
+
+    def test_counts_cover_duplicate_lines(self, tmp_path):
+        source = RACY + "\ndef put2(key, value):\n    _CACHE[key] = value\n"
+        target = tmp_path / "service" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(source)
+        baseline_file = tmp_path / "lint-baseline.json"
+        first = lint_paths([target], root=tmp_path)
+        assert len(first.new) == 2
+        write_baseline(first.findings, baseline_file)
+        payload = json.loads(baseline_file.read_text())
+        assert sum(payload["entries"].values()) == 2
+        report = lint_paths([target], root=tmp_path, baseline=load_baseline(baseline_file))
+        assert report.new == [] and len(report.baselined) == 2
+
+    def test_bad_version_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            load_baseline(bad)
+
+
+class TestRunnerAndReporters:
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([bad], root=tmp_path)
+        assert report.parse_errors and not report.clean and report.exit_code == 1
+
+    def test_report_renderings_are_deterministic(self, tmp_path):
+        target = tmp_path / "service" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(RACY)
+        a = lint_paths([target], root=tmp_path)
+        b = lint_paths([target], root=tmp_path)
+        assert render_json(a) == render_json(b)
+        assert render_text(a, verbose=True) == render_text(b, verbose=True)
+        payload = json.loads(render_json(a))
+        assert payload["counts"] == {"CONC001": 1}
+        assert payload["findings"][0]["path"] == "service/mod.py"
+
+    def test_finding_key_stability(self):
+        finding = Finding("DET001", "msg", "a/b.py", 3, 1, snippet="x = 1")
+        assert finding.baseline_key() == Finding(
+            "DET001", "other msg", "a/b.py", 99, 5, snippet="  x = 1  "
+        ).baseline_key()
