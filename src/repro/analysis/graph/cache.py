@@ -1,0 +1,154 @@
+"""Incremental cache: per-file summaries + findings keyed by content sha.
+
+The expensive part of a lint run is per-file — parsing and summarizing.
+The program graph itself is cheap to reassemble (pure dict/set work over
+summaries), so the cache stores exactly the per-file products and the
+runner rebuilds the graph every run.  That *is* the graph-aware
+invalidation story: an edit to ``util.py`` re-summarizes one file, and
+every interprocedural consequence (a new call edge, a scope that now
+propagates further) falls out of the rebuilt graph for free, with no
+cross-file dependency bookkeeping to get wrong.
+
+Entries are invalidated two ways:
+
+* per file, when the content sha256 no longer matches;
+* wholesale, when the **fingerprint** changes — a hash of the cache
+  format version and the registered checker codes, so upgrading the
+  linter or adding a checker never serves stale findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..lint.findings import Finding, FindingStatus
+from .summary import ModuleSummary
+
+__all__ = ["SummaryCache", "cache_fingerprint", "DEFAULT_CACHE_NAME"]
+
+#: Bump when the summary or finding schema changes shape.
+_CACHE_VERSION = 1
+
+DEFAULT_CACHE_NAME = ".lint-cache.json"
+
+
+def cache_fingerprint(checker_codes: list[str]) -> str:
+    """Hash of everything that invalidates the whole cache at once."""
+    payload = json.dumps(
+        {"version": _CACHE_VERSION, "checkers": sorted(checker_codes)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def _finding_to_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "code": finding.code,
+        "message": finding.message,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "snippet": finding.snippet,
+        "status": finding.status.value,
+    }
+
+
+def _finding_from_dict(payload: dict[str, Any]) -> Finding:
+    status = FindingStatus(payload.get("status", "new"))
+    if status is FindingStatus.BASELINED:
+        # Baseline disposition is decided per *run*, never cached.
+        status = FindingStatus.NEW
+    return Finding(
+        code=payload["code"],
+        message=payload["message"],
+        path=payload["path"],
+        line=payload["line"],
+        column=payload["column"],
+        snippet=payload.get("snippet", ""),
+        status=status,
+    )
+
+
+class SummaryCache:
+    """On-disk store of ``relpath → (sha, summary, module-local findings)``."""
+
+    def __init__(self, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- persistence ----------------------------------------------------- #
+    @classmethod
+    def load(cls, path: str | Path, fingerprint: str) -> "SummaryCache":
+        """Load a cache file; any mismatch or damage yields an empty cache."""
+        cache = cls(fingerprint)
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
+            return cache
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            cache._entries = entries
+        return cache
+
+    def save(self, path: str | Path) -> None:
+        """Atomically persist the cache (best-effort: failures are silent)."""
+        payload = {"fingerprint": self.fingerprint, "entries": self._entries}
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, target)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    # -- lookup ---------------------------------------------------------- #
+    def get(
+        self, relpath: str, sha: str
+    ) -> tuple[ModuleSummary, list[Finding]] | None:
+        entry = self._entries.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+            findings = [_finding_from_dict(f) for f in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary, findings
+
+    def put(
+        self,
+        relpath: str,
+        sha: str,
+        summary: ModuleSummary,
+        findings: list[Finding],
+    ) -> None:
+        self._entries[relpath] = {
+            "sha": sha,
+            "summary": summary.to_dict(),
+            "findings": [_finding_to_dict(f) for f in findings],
+        }
+
+    def prune(self, keep: set[str]) -> int:
+        """Drop entries for files not in this run; returns count removed."""
+        stale = [relpath for relpath in self._entries if relpath not in keep]
+        for relpath in stale:
+            del self._entries[relpath]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,306 @@
+"""Name resolution and call-edge construction over module summaries.
+
+The summarizer records call sites as *spellings* (an import-resolved
+dotted path, a ``self`` method, a typed local).  This module turns those
+spellings into **function ids** (``module:qualname``) by walking the
+export tables of every summarized module — through aliased imports,
+re-exporting ``__init__`` packages, and ``from x import *`` — and then
+materializes the call graph as explicit edges.
+
+Resolution is deliberately conservative: a spelling that cannot be
+anchored inside the analyzed tree (stdlib, third-party, dynamic) resolves
+to nothing and contributes no edge.  The one soft spot is receiver-less
+method calls (``obj.drain()`` where ``obj``'s type is unknown); those
+resolve only when exactly one class in the whole program defines the
+method, and the resulting edge is marked ``weak`` so checkers can decide
+how much to trust it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .summary import MODULE_FUNCTION, CallSite, ModuleSummary
+
+__all__ = ["Edge", "Resolver", "build_edges", "function_id"]
+
+
+def function_id(module: str, qualname: str) -> str:
+    return f"{module}:{qualname}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call-graph edge."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+    under_lock: bool = False
+    via_thread: bool = False
+    weak: bool = False
+
+
+class Resolver:
+    """Resolves dotted spellings to function ids across the program."""
+
+    def __init__(self, summaries: dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        # Method name → defining (module, class) pairs, for weak resolution.
+        self._methods: dict[str, list[tuple[str, str]]] = {}
+        for module, summary in summaries.items():
+            for cls in summary.classes.values():
+                for method in cls.methods:
+                    self._methods.setdefault(method, []).append((module, cls.name))
+
+    # -- module namespaces ---------------------------------------------- #
+    def binding(
+        self, module: str, name: str, _visited: frozenset[tuple[str, str]] = frozenset()
+    ) -> str | None:
+        """The dotted target ``name`` is bound to inside ``module``.
+
+        Follows re-export chains and ``import *`` (respecting the starred
+        module's ``__all__``) with a visited-set cycle guard.
+        """
+        if (module, name) in _visited:
+            return None
+        visited = _visited | {(module, name)}
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        target = summary.exports.get(name)
+        if target is not None:
+            return self._chase(module, name, target, visited)
+        for starred in summary.star_from:
+            star_summary = self.summaries.get(starred)
+            if star_summary is None:
+                continue
+            if star_summary.all_names is not None:
+                if name not in star_summary.all_names:
+                    continue
+            elif name.startswith("_"):
+                continue
+            found = self.binding(starred, name, visited)
+            if found is not None:
+                return found
+        return None
+
+    def _chase(
+        self,
+        module: str,
+        name: str,
+        target: str,
+        visited: frozenset[tuple[str, str]],
+    ) -> str | None:
+        """Follow one export entry to its final dotted form."""
+        if target == f"{module}.{name}":
+            summary = self.summaries[module]
+            if (
+                name in summary.functions
+                or name in summary.classes
+                or name in summary.mutable_globals
+                or name in summary.module_locks
+            ):
+                return target
+            return target  # plain module-level binding
+        # `from other import sym` → target == "other.sym"; other may itself
+        # re-export.  Split at the longest summarized-module prefix.
+        owner, symbol = self._split_module(target)
+        if owner is not None and symbol and "." not in symbol:
+            chained = self.binding(owner, symbol, visited)
+            if chained is not None:
+                return chained
+        return target
+
+    def _split_module(self, dotted: str) -> tuple[str | None, str]:
+        """Longest summarized-module prefix of ``dotted`` + the remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.summaries:
+                return candidate, ".".join(parts[cut:])
+        return None, dotted
+
+    # -- global resolution ---------------------------------------------- #
+    def resolve_dotted(
+        self, dotted: str, context_module: str | None = None
+    ) -> tuple[str, str] | None:
+        """Resolve a dotted spelling to ``(module, qualname)``.
+
+        ``context_module`` supplies the namespace for bare heads (a
+        same-module helper, or a name the summarizer left unrewritten).
+        """
+        head, _, rest = dotted.partition(".")
+        if context_module is not None:
+            bound = self.binding(context_module, head)
+            if bound is not None:
+                dotted = f"{bound}.{rest}" if rest else bound
+        owner, symbol = self._split_module(dotted)
+        if owner is None:
+            return None
+        return self._resolve_in(owner, symbol)
+
+    def _resolve_in(
+        self, module: str, symbol: str, _depth: int = 0
+    ) -> tuple[str, str] | None:
+        summary = self.summaries[module]
+        if _depth > 16:
+            return None
+        if not symbol:
+            return module, MODULE_FUNCTION
+        first, _, rest = symbol.partition(".")
+        if not rest:
+            if first in summary.functions:
+                return module, first
+            if first in summary.classes:
+                ctor = f"{first}.__init__"
+                if ctor in summary.functions:
+                    return module, ctor
+                return module, f"{first}"
+            bound = self.binding(module, first)
+            if bound is not None and bound != f"{module}.{first}":
+                owner, sym = self._split_module(bound)
+                if owner is not None:
+                    return self._resolve_in(owner, sym, _depth + 1)
+            return None
+        if first in summary.classes:
+            found = self.method_id(module, first, rest)
+            if found is not None:
+                return found
+            return None
+        bound = self.binding(module, first)
+        if bound is not None and bound != f"{module}.{first}":
+            owner, sym = self._split_module(f"{bound}.{rest}")
+            if owner is not None:
+                return self._resolve_in(owner, sym, _depth + 1)
+        return None
+
+    def resolve_class(
+        self, dotted: str, context_module: str | None = None
+    ) -> tuple[str, str] | None:
+        """Resolve a dotted spelling to a class ``(module, name)``."""
+        head, _, rest = dotted.partition(".")
+        if context_module is not None:
+            bound = self.binding(context_module, head)
+            if bound is not None:
+                dotted = f"{bound}.{rest}" if rest else bound
+        owner, symbol = self._split_module(dotted)
+        if owner is None or "." in symbol or not symbol:
+            return None
+        if symbol in self.summaries[owner].classes:
+            return owner, symbol
+        return None
+
+    def method_id(
+        self, module: str, cls: str, method: str, _depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Find ``method`` on ``cls`` or (depth-first) its bases."""
+        if _depth > 8:
+            return None
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        cls_summary = summary.classes.get(cls)
+        if cls_summary is None:
+            return None
+        if method in cls_summary.methods:
+            return module, f"{cls}.{method}"
+        for base in cls_summary.bases:
+            resolved = self.resolve_class(base, context_module=module)
+            if resolved is not None:
+                found = self.method_id(resolved[0], resolved[1], method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def unique_method(self, method: str) -> tuple[str, str] | None:
+        """``(module, Class.method)`` when exactly one class defines it."""
+        owners = self._methods.get(method, [])
+        if len(owners) == 1:
+            module, cls = owners[0]
+            return module, f"{cls}.{method}"
+        return None
+
+    # -- call-site resolution ------------------------------------------- #
+    def resolve_site(
+        self, caller_module: str, caller_qualname: str, site: CallSite
+    ) -> tuple[tuple[str, str] | None, bool]:
+        """Resolve one call site → ((module, qualname) | None, weak)."""
+        summary = self.summaries[caller_module]
+        caller = summary.functions.get(caller_qualname)
+        if site.kind == "plain":
+            return self.resolve_dotted(site.target, context_module=caller_module), False
+        if site.kind == "self":
+            cls = caller.cls if caller is not None else ""
+            if cls:
+                return self.method_id(caller_module, cls, site.target), False
+            return None, False
+        if site.kind == "var":
+            var, _, method = site.target.partition(".")
+            var_type = caller.var_types.get(var) if caller is not None else None
+            if var_type is not None:
+                resolved = self.resolve_class(var_type, context_module=caller_module)
+                if resolved is not None:
+                    return self.method_id(resolved[0], resolved[1], method), False
+            return None, False
+        if site.kind == "selfattr":
+            attr, _, method = site.target.partition(".")
+            cls = caller.cls if caller is not None else ""
+            cls_summary = summary.classes.get(cls)
+            attr_type = cls_summary.attr_types.get(attr) if cls_summary else None
+            if attr_type is not None:
+                resolved = self.resolve_class(attr_type, context_module=caller_module)
+                if resolved is not None:
+                    return self.method_id(resolved[0], resolved[1], method), False
+            found = self.unique_method(method)
+            return found, True
+        if site.kind == "attr":
+            return self.unique_method(site.target), True
+        return None, False
+
+
+def build_edges(
+    summaries: dict[str, ModuleSummary], resolver: Resolver
+) -> list[Edge]:
+    """Materialize every resolvable call edge, plus import-time edges."""
+    edges: list[Edge] = []
+    for module, summary in summaries.items():
+        # Importing a module executes its body: edge to its pseudo-function.
+        importer = function_id(module, MODULE_FUNCTION)
+        seen_imports: set[str] = set()
+        for imported in summary.imported_modules:
+            owner, symbol = resolver._split_module(imported)
+            if owner is None or symbol or owner in seen_imports:
+                continue
+            seen_imports.add(owner)
+            edges.append(
+                Edge(importer, function_id(owner, MODULE_FUNCTION), summary.functions[MODULE_FUNCTION].line, 1)
+            )
+        for qualname, fn in summary.functions.items():
+            caller = function_id(module, qualname)
+            for site in fn.calls:
+                resolved, weak = resolver.resolve_site(module, qualname, site)
+                if resolved is None:
+                    continue
+                callee_module, callee_qualname = resolved
+                callee_summary = summaries[callee_module]
+                if callee_qualname not in callee_summary.functions:
+                    # Class reference without __init__ — fall through to
+                    # the module pseudo-function so reachability still flows.
+                    if callee_qualname in callee_summary.classes:
+                        callee_qualname = MODULE_FUNCTION
+                    else:
+                        continue
+                edges.append(
+                    Edge(
+                        caller,
+                        function_id(callee_module, callee_qualname),
+                        site.line,
+                        site.col,
+                        under_lock=site.under_lock,
+                        via_thread=site.via_thread,
+                        weak=weak,
+                    )
+                )
+    return edges

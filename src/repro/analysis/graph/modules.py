@@ -1,0 +1,53 @@
+"""Module identity: relpath → dotted name, relative-import resolution.
+
+Naming mirrors :func:`repro.analysis.lint.scopes.module_tail`: the dotted
+name is anchored at the last ``repro`` path component when one exists
+(``src/repro/service/server.py`` → ``repro.service.server``), and is the
+whole path otherwise, so synthetic fixture trees (``pkg/util.py`` →
+``pkg.util``) build the same graphs the real tree does.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+
+__all__ = ["module_name", "package_of", "resolve_relative_import"]
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for one source file path."""
+    parts = list(PurePosixPath(relpath.replace("\\", "/")).parts)
+    if "repro" in parts:
+        last = len(parts) - 1 - list(reversed(parts)).index("repro")
+        parts = parts[last:]
+    if parts and parts[-1].endswith(".py"):
+        stem = parts[-1][: -len(".py")]
+        parts = parts[:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(parts)
+
+
+def package_of(relpath: str) -> str:
+    """The package a module's *relative* imports are anchored at."""
+    name = module_name(relpath)
+    if relpath.replace("\\", "/").endswith("__init__.py"):
+        return name
+    return name.rpartition(".")[0]
+
+
+def resolve_relative_import(relpath: str, module: str | None, level: int) -> str | None:
+    """Absolute dotted target of a ``from ... import`` statement.
+
+    ``level`` is the number of leading dots (0 = absolute).  Returns
+    ``None`` when the relative walk escapes the known package root —
+    the graph simply records no edge rather than guessing.
+    """
+    if level == 0:
+        return module
+    anchor = package_of(relpath)
+    for _ in range(level - 1):
+        if not anchor:
+            return None
+        anchor = anchor.rpartition(".")[0]
+    if not anchor:
+        return None
+    return f"{anchor}.{module}" if module else anchor

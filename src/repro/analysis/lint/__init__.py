@@ -24,6 +24,21 @@ REG001    ``@register_algorithm`` specs missing kind/bounds or with
           non-derivable parameters
 ========  ==============================================================
 
+A second, whole-program tier (``repro.analysis.graph``) parses the tree
+once, builds import and call graphs, propagates scopes transitively, and
+runs the interprocedural checkers:
+
+========  ==============================================================
+WIRE001   non-canonical serialization reaching a wire/trace sink through
+          helper calls (taint tracked across modules)
+DET101    unseeded RNG / wall-clock / set-order in helpers *reachable*
+          from deterministic or clock-free entry points
+CONC101   unlocked mutation of lock-guarded state on a cross-module
+          thread-reachable path (lock discipline across functions)
+MPC001    closures/lambdas/bound methods passed to ``map_round`` /
+          ``SweepRoundExecutor`` — import-path dispatch cannot ship them
+========  ==============================================================
+
 Findings can be silenced three ways, in decreasing order of preference:
 fix the code; suppress one line with ``# repro-lint: disable=CODE`` (a
 permanent, reviewed exemption with a rationale comment); or record it in
@@ -34,11 +49,17 @@ zero non-baselined findings.
 See ``docs/ANALYSIS.md`` for the checker catalogue and workflows.
 """
 
-from .baseline import Baseline, load_baseline, write_baseline
+from .baseline import Baseline, load_baseline, missing_files, write_baseline
 from .findings import Finding, FindingStatus
-from .registry import all_checkers, get_checker, register_checker
-from .reporting import render_json, render_text
-from .runner import LintReport, lint_paths, lint_source
+from .registry import (
+    all_checkers,
+    all_program_checkers,
+    get_checker,
+    register_checker,
+    register_program_checker,
+)
+from .reporting import render_json, render_sarif, render_text
+from .runner import LintReport, lint_paths, lint_source, lint_sources
 
 __all__ = [
     "Baseline",
@@ -46,12 +67,17 @@ __all__ = [
     "FindingStatus",
     "LintReport",
     "all_checkers",
+    "all_program_checkers",
     "get_checker",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_baseline",
+    "missing_files",
     "register_checker",
+    "register_program_checker",
     "render_json",
+    "render_sarif",
     "render_text",
     "write_baseline",
 ]

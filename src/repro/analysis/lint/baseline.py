@@ -18,7 +18,7 @@ from typing import Iterable
 
 from .findings import Finding, FindingStatus
 
-__all__ = ["Baseline", "load_baseline", "write_baseline"]
+__all__ = ["Baseline", "load_baseline", "missing_files", "write_baseline"]
 
 _VERSION = 1
 
@@ -46,6 +46,17 @@ class Baseline:
     def unused(self) -> dict[str, int]:
         """Entries never matched this run — stale debt worth deleting."""
         return {key: count for key, count in self.entries.items() if count > 0}
+
+
+def missing_files(baseline: Baseline, root: str | Path) -> list[str]:
+    """Baseline paths that no longer exist on disk.
+
+    Stale-by-deletion entries can never match again; the runner warns
+    (without failing) so ``--update-baseline`` gets run to prune them.
+    """
+    anchor = Path(root)
+    paths = sorted({key.split("::", 1)[0] for key in baseline.entries})
+    return [p for p in paths if not (anchor / p).exists()]
 
 
 def load_baseline(path: str | Path) -> Baseline:

@@ -1,5 +1,12 @@
-"""Checker implementations; importing this package registers them all."""
+"""Checker implementations; importing this package registers them all.
+
+Import order matters: :mod:`.interprocedural` pulls in
+:mod:`repro.analysis.graph`, whose summarizer imports back from
+:mod:`.determinism` — keeping it last means the re-entrant package import
+finds the per-module checkers already initialized.
+"""
 
 from . import concurrency, determinism, registry_conformance  # noqa: F401
+from . import interprocedural  # noqa: F401  (must stay last — see above)
 
-__all__ = ["concurrency", "determinism", "registry_conformance"]
+__all__ = ["concurrency", "determinism", "interprocedural", "registry_conformance"]

@@ -32,7 +32,7 @@ from typing import Iterator
 from ..findings import Finding
 from ..registry import Checker, ModuleContext, register_checker
 from ..scopes import LOCK_DISCIPLINE, module_tail
-from ._imports import build_import_map, resolve_call_target
+from ._imports import ImportMap, build_import_map, resolve_call_target
 
 _LOCK_FACTORIES = frozenset(
     {
@@ -156,7 +156,7 @@ class _MethodVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _scan_class(cls: ast.ClassDef, imports) -> _ClassScan:
+def _scan_class(cls: ast.ClassDef, imports: ImportMap) -> _ClassScan:
     scan = _ClassScan()
     methods = [
         stmt
@@ -228,7 +228,11 @@ class UnlockedSharedState(Checker):
 
     # -- classes ------------------------------------------------------- #
     def _check_class(
-        self, ctx: ModuleContext, cls: ast.ClassDef, imports, discipline
+        self,
+        ctx: ModuleContext,
+        cls: ast.ClassDef,
+        imports: ImportMap,
+        discipline: dict[str, frozenset[str]],
     ) -> Iterator[Finding]:
         scan = _scan_class(cls, imports)
         if not scan.lock_attrs:
@@ -258,7 +262,12 @@ class UnlockedSharedState(Checker):
                 )
 
     # -- module-level globals ------------------------------------------ #
-    def _module_globals(self, ctx: ModuleContext, imports, discipline) -> Iterator[Finding]:
+    def _module_globals(
+        self,
+        ctx: ModuleContext,
+        imports: ImportMap,
+        discipline: dict[str, frozenset[str]],
+    ) -> Iterator[Finding]:
         mutable: set[str] = set()
         module_locks: set[str] = set()
         for stmt in ctx.tree.body:

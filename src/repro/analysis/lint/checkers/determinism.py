@@ -4,6 +4,12 @@ Each one rejects a pattern that has historically broken the repo's
 byte-identity contract: global RNG state, non-canonical JSON on wire
 paths, order-leaking set iteration, and wall-clock reads inside the
 algorithmic tier.
+
+The detection logic lives in module-level ``iter_*`` generators (yielding
+``(node, message)`` pairs) so the whole-program summariser
+(:mod:`repro.analysis.graph.summary`) can collect the same facts
+per-function for the interprocedural DET101 checker without duplicating
+a single pattern table.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Iterator
 
 from ..findings import Finding
 from ..registry import Checker, ModuleContext, parent_map, register_checker
-from ._imports import build_import_map, resolve_call_target
+from ._imports import ImportMap, build_import_map, resolve_call_target
 
 #: ``random`` module functions that mutate/read the hidden global state.
 _PY_GLOBAL_RNG = frozenset(
@@ -50,47 +56,49 @@ _ORDER_INSENSITIVE = frozenset(
     {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
 )
 
+#: Attribute calls that put bytes on a wire or into a saved trace.
+_WRITE_SINKS = frozenset({"write", "sendall", "send", "sendto"})
 
-@register_checker
-class UnseededGlobalRNG(Checker):
-    """DET001 — ``random.*`` / ``np.random.*`` global state in solver code.
 
-    Global RNG state is shared across every caller in the process: a
-    library import, a logging helper, or a second sweep point drawing
-    from it reorders everyone else's stream, so results stop being a
-    function of the per-point seed.  Solvers must accept a seeded
-    ``numpy.random.Generator`` (or ``random.Random``) instead.
-    """
-
-    code = "DET001"
-    name = "unseeded-global-rng"
-    description = "global RNG state reachable from solver/kernel/backend code"
-    scopes = frozenset({"deterministic"})
-
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        imports = build_import_map(ctx.tree)
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            target = resolve_call_target(node, imports)
-            if target is None:
-                continue
-            if target.startswith("random.") and target.rpartition(".")[2] in _PY_GLOBAL_RNG:
-                yield ctx.finding(
-                    self.code,
-                    f"call to global-state RNG '{target}' — thread a seeded "
-                    "random.Random / numpy Generator through instead",
+# --------------------------------------------------------------------------- #
+# Reusable fact iterators (shared with the whole-program summariser)
+# --------------------------------------------------------------------------- #
+def iter_global_rng(tree: ast.AST, imports: ImportMap) -> Iterator[tuple[ast.AST, str]]:
+    """Every call into ``random``/``numpy.random`` global state."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(node, imports)
+        if target is None:
+            continue
+        if target.startswith("random.") and target.rpartition(".")[2] in _PY_GLOBAL_RNG:
+            yield (
+                node,
+                f"call to global-state RNG '{target}' — thread a seeded "
+                "random.Random / numpy Generator through instead",
+            )
+        elif target.startswith("numpy.random."):
+            attr = target[len("numpy.random.") :]
+            if "." not in attr and attr not in _NP_ALLOWED:
+                yield (
                     node,
+                    f"call to legacy global-state RNG 'numpy.random.{attr}' — "
+                    "use numpy.random.default_rng(seed) and pass the Generator",
                 )
-            elif target.startswith("numpy.random."):
-                attr = target[len("numpy.random.") :]
-                if "." not in attr and attr not in _NP_ALLOWED:
-                    yield ctx.finding(
-                        self.code,
-                        f"call to legacy global-state RNG 'numpy.random.{attr}' — "
-                        "use numpy.random.default_rng(seed) and pass the Generator",
-                        node,
-                    )
+
+
+def iter_wall_clock(tree: ast.AST, imports: ImportMap) -> Iterator[tuple[ast.AST, str]]:
+    """Every wall-clock read (monotonic measurement clocks excluded)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(node, imports)
+        if target in _WALL_CLOCK:
+            yield (
+                node,
+                f"wall-clock read '{target}' inside a deterministic module — "
+                "inject a clock (or move timing to the harness layer)",
+            )
 
 
 def _const_true(node: ast.expr | None) -> bool:
@@ -106,55 +114,111 @@ def _canonical_separators(node: ast.expr) -> bool:
     )
 
 
-@register_checker
-class NonCanonicalJSON(Checker):
-    """DET002 — ``json.dumps`` on a canonical path without ``sort_keys=True``.
+def json_dump_canonicality(node: ast.Call, imports: ImportMap) -> str | None:
+    """Classify a call: ``None`` if not json.dumps/json.dump, else verdict.
 
-    Wire payloads, cache signatures, and CLI JSON are byte-compared
-    across backends and surfaces; an unsorted dump ties the bytes to
-    dict construction order, and a ``default=`` hook silently coerces
-    unencodable values (``default=str`` turns an ``np.int64`` into a
-    string) so drift hides until two surfaces disagree.
+    Returns ``"canonical"`` when the call sorts keys with default or
+    canonical separators and no lossy ``default=`` hook, ``"noncanonical"``
+    otherwise, ``"unknown"`` when ``**kwargs`` makes the call unjudgeable.
     """
+    target = resolve_call_target(node, imports)
+    if target not in ("json.dumps", "json.dump"):
+        return None
+    keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+    if any(kw.arg is None for kw in node.keywords):
+        return "unknown"
+    if not _const_true(keywords.get("sort_keys")):
+        return "noncanonical"
+    if "default" in keywords:
+        return "noncanonical"
+    separators = keywords.get("separators")
+    if separators is not None and not _canonical_separators(separators):
+        return "noncanonical"
+    return "canonical"
 
-    code = "DET002"
-    name = "non-canonical-json"
-    description = "json.dumps without sort_keys/canonical separators on a wire path"
-    scopes = frozenset({"canonical"})
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        imports = build_import_map(ctx.tree)
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            target = resolve_call_target(node, imports)
-            if target not in ("json.dumps", "json.dump"):
-                continue
-            keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
-            has_kwargs = any(kw.arg is None for kw in node.keywords)
-            if not _const_true(keywords.get("sort_keys")) and not has_kwargs:
-                yield ctx.finding(
-                    self.code,
-                    f"{target} on a canonical path without sort_keys=True — "
-                    "output bytes depend on dict construction order",
-                    node,
-                )
-            if "default" in keywords:
-                yield ctx.finding(
-                    self.code,
-                    f"{target} with a default= encoder on a canonical path — "
-                    "lossy coercion (e.g. default=str) hides type drift; "
-                    "normalise values explicitly before encoding",
-                    node,
-                )
-            separators = keywords.get("separators")
-            if separators is not None and not _canonical_separators(separators):
-                yield ctx.finding(
-                    self.code,
-                    f"{target} with non-canonical separators — use (',', ':') "
-                    "compact or the default",
-                    node,
-                )
+def iter_noncanonical_json(
+    tree: ast.AST, imports: ImportMap
+) -> Iterator[tuple[ast.AST, str]]:
+    """Every ``json.dumps``/``json.dump`` call that is not canonical."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(node, imports)
+        if target not in ("json.dumps", "json.dump"):
+            continue
+        keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+        has_kwargs = any(kw.arg is None for kw in node.keywords)
+        if not _const_true(keywords.get("sort_keys")) and not has_kwargs:
+            yield (
+                node,
+                f"{target} on a canonical path without sort_keys=True — "
+                "output bytes depend on dict construction order",
+            )
+        if "default" in keywords:
+            yield (
+                node,
+                f"{target} with a default= encoder on a canonical path — "
+                "lossy coercion (e.g. default=str) hides type drift; "
+                "normalise values explicitly before encoding",
+            )
+        separators = keywords.get("separators")
+        if separators is not None and not _canonical_separators(separators):
+            yield (
+                node,
+                f"{target} with non-canonical separators — use (',', ':') "
+                "compact or the default",
+            )
+
+
+def _stringified_receiver(node: ast.expr) -> str | None:
+    """``'str'``/``'repr'`` when ``node`` is ``str(X)``/``repr(X)`` of a non-literal."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("str", "repr")
+        and node.args
+        and not isinstance(node.args[0], ast.Constant)
+    ):
+        return node.func.id
+    return None
+
+
+def iter_stringified_writes(
+    tree: ast.AST, imports: ImportMap
+) -> Iterator[tuple[ast.AST, str]]:
+    """``.write()``/``.sendall()`` of ``str(obj)``/``repr(obj)`` bytes.
+
+    ``handle.write(str(payload).encode())`` renders Python ``repr`` —
+    insertion-ordered dicts, hash-ordered sets — onto a wire or trace
+    surface.  Only direct stringification is flagged here; values that
+    arrive through helper calls are the interprocedural WIRE001's job.
+    """
+    del imports
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _WRITE_SINKS):
+            continue
+        if not node.args:
+            continue
+        payload = node.args[0]
+        # Unwrap ``X.encode(...)`` — the common bytes-conversion step.
+        if (
+            isinstance(payload, ast.Call)
+            and isinstance(payload.func, ast.Attribute)
+            and payload.func.attr == "encode"
+        ):
+            payload = payload.func.value
+        kind = _stringified_receiver(payload)
+        if kind is not None:
+            yield (
+                node,
+                f"{kind}()-rendered object written to a wire/trace surface — "
+                "repr order is not canonical; encode with json.dumps("
+                "sort_keys=True) instead",
+            )
 
 
 def _is_setlike(node: ast.expr, setlike_names: frozenset[str]) -> bool:
@@ -169,7 +233,7 @@ def _is_setlike(node: ast.expr, setlike_names: frozenset[str]) -> bool:
     return isinstance(node, ast.Name) and node.id in setlike_names
 
 
-def _setlike_names(tree: ast.Module) -> frozenset[str]:
+def _setlike_names(tree: ast.AST) -> frozenset[str]:
     """Names only ever assigned set-typed expressions (conservative)."""
     setlike: set[str] = set()
     other: set[str] = set()
@@ -198,6 +262,96 @@ def _setlike_names(tree: ast.Module) -> frozenset[str]:
     return frozenset(setlike - other)
 
 
+def iter_set_order(tree: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Every set iteration whose order can escape into outputs."""
+    parents = parent_map(tree)
+    setlike = _setlike_names(tree)
+    message = (
+        "iteration over a set has nondeterministic order — iterate "
+        "sorted(...) or an ordered container before the order can escape"
+    )
+
+    def consumer_is_order_insensitive(node: ast.AST) -> bool:
+        parent = parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_INSENSITIVE
+            and node in parent.args
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and _is_setlike(node.iter, setlike):
+            yield node.iter, message
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            if isinstance(node, ast.GeneratorExp) and consumer_is_order_insensitive(node):
+                continue
+            for generator in node.generators:
+                if _is_setlike(generator.iter, setlike):
+                    yield generator.iter, message
+        elif isinstance(node, ast.Call):
+            func = node.func
+            ordered_builtin = (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "tuple", "enumerate")
+            )
+            join = isinstance(func, ast.Attribute) and func.attr == "join"
+            if (ordered_builtin or join) and node.args and _is_setlike(
+                node.args[0], setlike
+            ):
+                yield node.args[0], message
+
+
+# --------------------------------------------------------------------------- #
+# The registered per-module checkers
+# --------------------------------------------------------------------------- #
+@register_checker
+class UnseededGlobalRNG(Checker):
+    """DET001 — ``random.*`` / ``np.random.*`` global state in solver code.
+
+    Global RNG state is shared across every caller in the process: a
+    library import, a logging helper, or a second sweep point drawing
+    from it reorders everyone else's stream, so results stop being a
+    function of the per-point seed.  Solvers must accept a seeded
+    ``numpy.random.Generator`` (or ``random.Random``) instead.
+    """
+
+    code = "DET001"
+    name = "unseeded-global-rng"
+    description = "global RNG state reachable from solver/kernel/backend code"
+    scopes = frozenset({"deterministic"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node, message in iter_global_rng(ctx.tree, imports):
+            yield ctx.finding(self.code, message, node)
+
+
+@register_checker
+class NonCanonicalJSON(Checker):
+    """DET002 — non-canonical encodings on wire/trace surfaces.
+
+    Wire payloads, cache signatures, and CLI JSON are byte-compared
+    across backends and surfaces; an unsorted ``json.dumps`` (or the
+    file-object ``json.dump`` variant) ties the bytes to dict
+    construction order, a ``default=`` hook silently coerces unencodable
+    values, and a ``str(obj).encode()`` write renders repr order straight
+    onto the wire.
+    """
+
+    code = "DET002"
+    name = "non-canonical-json"
+    description = "non-canonical json.dumps/json.dump or stringified write on a wire path"
+    scopes = frozenset({"canonical"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node, message in iter_noncanonical_json(ctx.tree, imports):
+            yield ctx.finding(self.code, message, node)
+        for node, message in iter_stringified_writes(ctx.tree, imports):
+            yield ctx.finding(self.code, message, node)
+
+
 @register_checker
 class SetIterationOrder(Checker):
     """DET003 — iterating a ``set`` where the order can escape.
@@ -215,42 +369,8 @@ class SetIterationOrder(Checker):
     scopes = frozenset({"deterministic"})
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        parents = parent_map(ctx.tree)
-        setlike = _setlike_names(ctx.tree)
-        message = (
-            "iteration over a set has nondeterministic order — iterate "
-            "sorted(...) or an ordered container before the order can escape"
-        )
-
-        def consumer_is_order_insensitive(node: ast.AST) -> bool:
-            parent = parents.get(node)
-            return (
-                isinstance(parent, ast.Call)
-                and isinstance(parent.func, ast.Name)
-                and parent.func.id in _ORDER_INSENSITIVE
-                and node in parent.args
-            )
-
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.For) and _is_setlike(node.iter, setlike):
-                yield ctx.finding(self.code, message, node.iter)
-            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
-                if isinstance(node, ast.GeneratorExp) and consumer_is_order_insensitive(node):
-                    continue
-                for generator in node.generators:
-                    if _is_setlike(generator.iter, setlike):
-                        yield ctx.finding(self.code, message, generator.iter)
-            elif isinstance(node, ast.Call):
-                func = node.func
-                ordered_builtin = (
-                    isinstance(func, ast.Name)
-                    and func.id in ("list", "tuple", "enumerate")
-                )
-                join = isinstance(func, ast.Attribute) and func.attr == "join"
-                if (ordered_builtin or join) and node.args and _is_setlike(
-                    node.args[0], setlike
-                ):
-                    yield ctx.finding(self.code, message, node.args[0])
+        for node, message in iter_set_order(ctx.tree):
+            yield ctx.finding(self.code, message, node)
 
 
 @register_checker
@@ -271,17 +391,8 @@ class WallClockInSolver(Checker):
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         imports = build_import_map(ctx.tree)
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            target = resolve_call_target(node, imports)
-            if target in _WALL_CLOCK:
-                yield ctx.finding(
-                    self.code,
-                    f"wall-clock read '{target}' inside a deterministic module — "
-                    "inject a clock (or move timing to the harness layer)",
-                    node,
-                )
+        for node, message in iter_wall_clock(ctx.tree, imports):
+            yield ctx.finding(self.code, message, node)
 
 
 __all__ = [
@@ -289,4 +400,10 @@ __all__ = [
     "SetIterationOrder",
     "UnseededGlobalRNG",
     "WallClockInSolver",
+    "iter_global_rng",
+    "iter_noncanonical_json",
+    "iter_set_order",
+    "iter_stringified_writes",
+    "iter_wall_clock",
+    "json_dump_canonicality",
 ]

@@ -4,16 +4,23 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Type
+from typing import TYPE_CHECKING, Callable, Iterator, Type
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..graph.program import ProgramGraph
 
 __all__ = [
     "Checker",
     "ModuleContext",
+    "ProgramChecker",
+    "ProgramContext",
     "all_checkers",
+    "all_program_checkers",
     "get_checker",
     "register_checker",
+    "register_program_checker",
 ]
 
 
@@ -70,7 +77,71 @@ class Checker:
         return self.scopes is None or bool(self.scopes & scopes)
 
 
+@dataclass
+class ProgramContext:
+    """The whole-program view interprocedural checkers run against.
+
+    ``sources`` maps every summarized relpath to its source lines, so
+    findings can carry the snippet the baseline keys on — same contract
+    as :meth:`ModuleContext.finding`.
+    """
+
+    graph: "ProgramGraph"
+    sources: dict[str, list[str]] = field(default_factory=dict)
+
+    def snippet(self, relpath: str, line: int) -> str:
+        lines = self.sources.get(relpath, [])
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, code: str, message: str, relpath: str, line: int, column: int
+    ) -> Finding:
+        return Finding(
+            code=code,
+            message=message,
+            path=relpath,
+            line=line,
+            column=column,
+            snippet=self.snippet(relpath, line),
+        )
+
+
+class ProgramChecker:
+    """Base class for checkers that examine the whole program graph.
+
+    Unlike :class:`Checker`, a program checker sees every module at once
+    and decides applicability itself from each function's *effective*
+    (propagated) scopes — there is no per-file ``applies`` gate.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: ProgramContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
 _CHECKERS: dict[str, Type[Checker]] = {}
+_PROGRAM_CHECKERS: dict[str, Type[ProgramChecker]] = {}
+
+
+def register_program_checker(cls: Type[ProgramChecker]) -> Type[ProgramChecker]:
+    """Class decorator adding a whole-program checker to the registry."""
+    if not cls.code:
+        raise ValueError(f"checker {cls.__name__} declares no code")
+    existing = _PROGRAM_CHECKERS.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"checker code {cls.code!r} already registered by {existing.__name__}")
+    _PROGRAM_CHECKERS[cls.code] = cls
+    return cls
+
+
+def all_program_checkers() -> list[ProgramChecker]:
+    """One instance of every registered program checker, sorted by code."""
+    return [_PROGRAM_CHECKERS[code]() for code in sorted(_PROGRAM_CHECKERS)]
 
 
 def register_checker(cls: Type[Checker]) -> Type[Checker]:

@@ -94,12 +94,15 @@ SCOPE_RULES: tuple[tuple[str, str], ...] = (
 #: CONC001 lock-discipline declarations: module tail → class name →
 #: attribute names exempt from the held-lock requirement, with the
 #: rationale right here where review sees it.
-LOCK_DISCIPLINE: dict[str, dict[str, frozenset[str]]] = {
-    # WorkerState._thread is only written by start()/close(), both called
-    # from the single service thread that owns the lifecycle; the executor
-    # thread never touches it (join() must not run lock-held).
-    "distributed/worker.py": {"WorkerState": frozenset({"_thread"})},
-}
+#:
+#: Currently empty — and a cautionary tale.  The previous entry exempted
+#: ``WorkerState._thread`` with the rationale "only the single service
+#: thread touches it"; CONC101's cross-module reachability analysis
+#: falsified that (``SolverService.aclose`` runs ``close()`` on an
+#: executor thread while ``start()`` runs on the event loop), so the
+#: mutations were put under the lock instead.  Prefer fixing the code;
+#: an entry here asserts a lifecycle claim no checker verifies.
+LOCK_DISCIPLINE: dict[str, dict[str, frozenset[str]]] = {}
 
 _SCOPE_COMMENT = re.compile(r"#\s*repro-lint:\s*scope=([A-Za-z0-9_,\-]+)")
 

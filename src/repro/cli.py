@@ -418,6 +418,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--json", action="store_true", help="emit the canonical JSON report")
     lint.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE ('-' for stdout)",
+    )
+    lint.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files in parallel with N worker processes (default: 1)",
+    )
+    lint.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="incremental summary cache file; unchanged files (by content "
+        "hash) skip re-parsing (default: no cache)",
+    )
+    lint.add_argument(
         "--baseline",
         default="lint-baseline.json",
         metavar="FILE",
@@ -771,6 +790,7 @@ def _run_lint(args: argparse.Namespace) -> int:
         lint_paths,
         load_baseline,
         render_json,
+        render_sarif,
         render_text,
         write_baseline,
     )
@@ -780,12 +800,23 @@ def _run_lint(args: argparse.Namespace) -> int:
     if not baseline_path.is_absolute():
         baseline_path = root / baseline_path
     baseline = None if args.no_baseline else load_baseline(baseline_path)
-    report = lint_paths(args.paths, root=root, baseline=baseline)
+    report = lint_paths(
+        args.paths, root=root, baseline=baseline, jobs=args.jobs, cache_path=args.cache
+    )
     if args.update_baseline:
+        before = set((baseline or load_baseline(baseline_path)).entries)
         updated = write_baseline(report.findings, baseline_path)
         total = sum(updated.entries.values())
-        print(f"baseline written: {baseline_path} ({total} entries)")
+        pruned = len(before - set(updated.entries))
+        note = f", {pruned} stale entr{'y' if pruned == 1 else 'ies'} pruned" if pruned else ""
+        print(f"baseline written: {baseline_path} ({total} entries{note})")
         return 0
+    if args.sarif:
+        sarif = render_sarif(report)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            Path(args.sarif).write_text(sarif + "\n", encoding="utf-8")
     print(render_json(report) if args.json else render_text(report, verbose=args.verbose))
     if report.files_scanned == 0:
         print("error: no python files found under the given paths", file=sys.stderr)

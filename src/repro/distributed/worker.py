@@ -85,24 +85,30 @@ class WorkerState:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        if self._thread is None or not self._thread.is_alive():
-            # ``_closed`` is read by the executor thread under the lock; an
-            # unlocked write here could be reordered/missed by an executor
-            # racing a close() → start() restart.
-            with self._work:
-                self._closed = False
-            self._thread = threading.Thread(
+        # The whole check-then-spawn must hold the lock: start() runs on the
+        # event loop while close() runs on an executor thread, so an unlocked
+        # read of ``_thread`` races close() nulling it and can spawn two
+        # executors (or observe a half-joined thread).
+        with self._work:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._closed = False
+            thread = threading.Thread(
                 target=self._run, name="repro-worker-executor", daemon=True
             )
-            self._thread.start()
+            self._thread = thread
+        thread.start()
 
     def close(self) -> None:
         with self._work:
             self._closed = True
             self._work.notify_all()
-        if self._thread is not None:
-            self._thread.join(timeout=30)
+            thread = self._thread
             self._thread = None
+        # Join outside the lock — ``_run`` needs it to observe ``_closed``
+        # and exit; joining while holding it would deadlock until timeout.
+        if thread is not None:
+            thread.join(timeout=30)
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until the queue is empty and nothing is executing."""

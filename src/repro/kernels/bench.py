@@ -412,7 +412,11 @@ def run_kernel_bench(
 
 
 def write_report(report: dict[str, Any], path: str = DEFAULT_OUTPUT) -> None:
-    """Write the benchmark report as pretty-printed JSON."""
+    """Write the benchmark report as pretty-printed JSON.
+
+    Keys are sorted so a rerun on identical results is a byte-identical
+    file — the report is diffed across machines by the sweep tooling.
+    """
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
+        json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

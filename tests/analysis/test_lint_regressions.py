@@ -1,4 +1,5 @@
-"""Regression tests for the genuine defects the lint pass surfaced (ISSUE 9).
+"""Regression tests for the genuine defects the lint pass surfaced
+(ISSUE 9 per-module tier; ISSUE 10 interprocedural tier).
 
 Each test pins the *behaviour* the fix restored; the corresponding
 pattern is simultaneously rejected by a checker (tests/analysis/
@@ -94,6 +95,64 @@ class TestWorkerRestartDiscipline:
             assert state.collect("s2")["completed"]
         finally:
             state.close()
+
+
+class TestBenchReportCanonical:
+    """WIRE001 @ kernels/bench.py (ISSUE 10): ``write_report`` dumped the
+    report without ``sort_keys`` — two runs with identical results could
+    write different bytes, defeating cross-machine report diffing.  The
+    defect was invisible to DET002 because ``kernels/`` is not a
+    canonical-scoped path; WIRE001 caught it through the call chain from
+    the (canonical) CLI."""
+
+    def test_write_report_bytes_independent_of_key_order(self, tmp_path):
+        from repro.kernels.bench import write_report
+
+        inner_a = {"z_metric": 1.5, "a_metric": 2.5}
+        inner_b = dict(reversed(list(inner_a.items())))
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        write_report({"results": inner_a, "ok": True}, str(out_a))
+        write_report({"ok": True, "results": inner_b}, str(out_b))
+        assert out_a.read_bytes() == out_b.read_bytes()
+        assert json.loads(out_a.read_text())["results"] == inner_a
+
+
+class TestWorkerThreadHandleDiscipline:
+    """CONC101 @ distributed/worker.py (ISSUE 10): ``start``/``close``
+    mutated ``_thread`` without the lock.  The old CONC001 exemption
+    claimed a single lifecycle thread; the cross-module analysis showed
+    ``SolverService.aclose`` runs ``close()`` on an executor thread while
+    ``start()`` runs on the event loop.  Both now hold the lock, so
+    concurrent restarts cannot spawn a second executor."""
+
+    def test_concurrent_start_close_yields_single_executor(self):
+        import threading
+
+        state = WorkerState(backend="serial")
+        stop = threading.Event()
+
+        def churn() -> None:
+            while not stop.is_set():
+                state.close()
+
+        closer = threading.Thread(target=churn)
+        closer.start()
+        try:
+            for _ in range(50):
+                state.start()
+        finally:
+            stop.set()
+            closer.join(timeout=30)
+            state.close()
+        executors = [
+            t
+            for t in threading.enumerate()
+            if t.name == "repro-worker-executor" and t.is_alive()
+        ]
+        # close() joined whatever start() spawned; nothing leaks.
+        state.close()
+        assert state._thread is None
+        assert len(executors) <= 1
 
 
 class TestTriangleRecordOrder:
